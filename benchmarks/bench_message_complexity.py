@@ -1,0 +1,98 @@
+"""Benchmark: message and bandwidth profile of the substrate algorithms.
+
+LOCAL complexity counts rounds, but deployments also care about message
+volume and width. Each benchmark runs one substrate on a shared workload
+with bandwidth tracking and records total messages, the peak per-round
+volume, and the widest payload (CONGEST-compatibility) in extra_info.
+"""
+
+import pytest
+
+from repro.graphs import random_regular
+from repro.local import Network, is_congest_width
+from repro.substrates.linial import LinialAlgorithm
+from repro.substrates.reduction import BasicReductionAlgorithm
+
+
+def workload():
+    return random_regular(64, 8, seed=41)
+
+
+def test_linial_messages(benchmark, record_info):
+    graph = workload()
+    net = Network(graph)
+    initial = {v: i * 64 for i, v in enumerate(sorted(graph.nodes()))}
+    ctx = net.make_context(initial_coloring=initial, m0=max(initial.values()) + 1)
+
+    def run():
+        return net.run(LinialAlgorithm(), ctx, track_bandwidth=True)
+
+    result = benchmark(run)
+    record_info(
+        benchmark,
+        {
+            "experiment": "messages-linial",
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "peak_round_messages": result.peak_round_messages,
+            "max_message_bits": result.max_message_bits,
+            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+        },
+    )
+    assert is_congest_width(result.max_message_bits, net.n)
+
+
+def test_basic_reduction_messages(benchmark, record_info):
+    graph = workload()
+    net = Network(graph)
+    coloring = {v: 3 * i for i, v in enumerate(sorted(graph.nodes()))}
+    ctx = net.make_context(
+        coloring=coloring, m=max(coloring.values()) + 1, target=9
+    )
+
+    def run():
+        return net.run(BasicReductionAlgorithm(), ctx, track_bandwidth=True)
+
+    result = benchmark(run)
+    record_info(
+        benchmark,
+        {
+            "experiment": "messages-basic-reduction",
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "max_message_bits": result.max_message_bits,
+            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+        },
+    )
+
+
+def test_merge_messages(benchmark, record_info):
+    """The Lemma 5.1 merge ships used-color sets — wider than CONGEST."""
+    import networkx as nx
+
+    from repro.core.arboricity import CrossMergeAlgorithm
+
+    graph = nx.complete_bipartite_graph(8, 8)
+    left = [v for v in graph.nodes() if v < 8]
+    side = {v: ("A" if v < 8 else "B") for v in graph.nodes()}
+    labels = {
+        a: {i: b for i, b in enumerate(sorted(graph.neighbors(a)), start=1)}
+        for a in left
+    }
+    net = Network(graph)
+    ctx = net.make_context(side=side, labels=labels, used={}, palette=15, d=8)
+
+    def run():
+        return net.run(CrossMergeAlgorithm(), ctx, track_bandwidth=True)
+
+    result = benchmark(run)
+    record_info(
+        benchmark,
+        {
+            "experiment": "messages-merge",
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "max_message_bits": result.max_message_bits,
+            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+        },
+    )

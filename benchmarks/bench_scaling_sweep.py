@@ -1,0 +1,32 @@
+"""Benchmark: measured Delta-scaling of the star-partition algorithm.
+
+Each benchmark runs a full Delta ladder and records the fitted power-law
+exponent of the modeled rounds in extra_info — the live-implementation
+counterpart of Table 1's Delta^(1/(2x+2)) column (at simulation scale the
+oracle's polylog factor inflates the apparent exponent; the cost-model fit
+in EXPERIMENTS.md isolates the clean exponent).
+"""
+
+import pytest
+
+from repro.analysis.sweeps import star_partition_delta_sweep
+
+
+@pytest.mark.parametrize("x", (1, 2))
+def test_delta_ladder(benchmark, record_info, x):
+    def run():
+        return star_partition_delta_sweep(x=x, deltas=(9, 16, 25), n=48, seed=5)
+
+    sweep = benchmark(run)
+    fit = sweep.fit_modeled_rounds()
+    record_info(
+        benchmark,
+        {
+            "experiment": "scaling-sweep",
+            "x": x,
+            "fitted_exponent": fit.exponent,
+            "paper_exponent": 1.0 / (2 * x + 2),
+            "max_color_ratio": sweep.max_color_ratio(),
+        },
+    )
+    assert sweep.max_color_ratio() <= 1.0

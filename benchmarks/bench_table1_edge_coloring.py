@@ -1,0 +1,107 @@
+"""Benchmark: Table 1 — (2^(x+1) Delta)-edge-coloring of general graphs.
+
+One benchmark per (Delta, x) cell. Each run executes the star-partition
+algorithm on a random regular graph, verifies the coloring against the
+paper's palette, and records measured colors plus measured/modeled rounds in
+``extra_info`` next to the wall-time.
+"""
+
+import pytest
+
+from repro.analysis import verify_edge_coloring
+from repro.baselines import table1_row
+from repro.core import star_partition_edge_coloring
+from repro.graphs import random_regular
+from repro.local import RoundLedger
+
+DELTAS = (8, 16, 24)
+XS = (1, 2, 3)
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+@pytest.mark.parametrize("x", XS)
+def test_table1_cell(benchmark, record_info, delta, x):
+    n = 64 if (64 * delta) % 2 == 0 else 65
+    graph = random_regular(n, delta, seed=7)
+
+    def run():
+        return star_partition_edge_coloring(graph, x=x)
+
+    result = benchmark(run)
+    verify_edge_coloring(graph, result.coloring, palette=result.target_colors)
+    previous = table1_row(delta, n, x)
+    record_info(
+        benchmark,
+        {
+            "experiment": "table1",
+            "delta": delta,
+            "x": x,
+            "colors_used": result.colors_used,
+            "colors_bound": result.target_colors,
+            "rounds_actual": result.rounds_actual,
+            "rounds_modeled": result.rounds_modeled,
+            "previous_colors": previous.previous_colors,
+            "previous_rounds": previous.previous_rounds,
+        },
+    )
+    assert result.colors_used <= result.target_colors
+
+
+@pytest.mark.parametrize("delta", (12, 20))
+def test_table1_baseline_greedy(benchmark, record_info, delta):
+    """The executable (2Delta-1) prior-art row for comparison."""
+    from repro.baselines import greedy_edge_coloring
+
+    graph = random_regular(64, delta, seed=7)
+    coloring = benchmark(lambda: greedy_edge_coloring(graph))
+    verify_edge_coloring(graph, coloring, palette=2 * delta - 1)
+    record_info(
+        benchmark,
+        {
+            "experiment": "table1-baseline",
+            "delta": delta,
+            "colors_used": len(set(coloring.values())),
+            "colors_bound": 2 * delta - 1,
+        },
+    )
+
+
+@pytest.mark.parametrize("delta", (12, 20))
+def test_table1_baseline_weak(benchmark, record_info, delta):
+    """The intro's prior-art Delta^(1+eps) regime ([6, 7]): very few rounds,
+    a polynomial factor more colors."""
+    from repro.baselines import weak_edge_coloring
+
+    graph = random_regular(64, delta, seed=7)
+    result = benchmark(lambda: weak_edge_coloring(graph))
+    verify_edge_coloring(graph, result.coloring)
+    record_info(
+        benchmark,
+        {
+            "experiment": "table1-baseline-weak",
+            "delta": delta,
+            "colors_used": result.colors_used,
+            "rounds_actual": result.rounds_actual,
+            "color_exponent": result.color_exponent,
+        },
+    )
+
+
+@pytest.mark.parametrize("delta", (12, 20))
+def test_table1_baseline_randomized(benchmark, record_info, delta):
+    """The randomized contrast ([14, 16, 22] regime, simple 2Delta trial
+    coloring): O(log m) rounds with high probability."""
+    from repro.baselines import randomized_edge_coloring
+
+    graph = random_regular(64, delta, seed=7)
+    result = benchmark(lambda: randomized_edge_coloring(graph, seed=7))
+    verify_edge_coloring(graph, result.coloring, palette=result.palette)
+    record_info(
+        benchmark,
+        {
+            "experiment": "table1-baseline-randomized",
+            "delta": delta,
+            "colors_used": result.colors_used,
+            "rounds_actual": result.rounds,
+        },
+    )

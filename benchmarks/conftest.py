@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+Benchmarks attach the reproduction's measured values (colors, simulator
+rounds, modeled rounds, the paper's bound) to pytest-benchmark's
+``extra_info``, so `pytest benchmarks/ --benchmark-only` regenerates every
+table/figure row alongside the wall-time measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach(benchmark, record) -> None:
+    """Attach an ExperimentRecord (or dict) to a benchmark run."""
+    data = record.as_dict() if hasattr(record, "as_dict") else dict(record)
+    for key, value in data.items():
+        if value is not None:
+            benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def record_info():
+    return attach

@@ -1,0 +1,19 @@
+"""Legacy setup shim so editable installs work without network access
+(the sandbox has no `wheel` package, so PEP 660 editable wheels are
+unavailable; `setup.py develop` is used instead)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Barenboim-Elkin-Maimon (PODC 2017): deterministic "
+        "distributed (Delta + o(Delta))-edge-coloring and vertex-coloring of "
+        "graphs with bounded diversity"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

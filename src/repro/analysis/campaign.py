@@ -1,0 +1,134 @@
+"""Experiment campaigns: persist reproduction runs and diff them.
+
+A *campaign* is the full experiment grid (Tables 1-2, Section 5, Figures)
+serialized to JSON with enough metadata to re-run it bit-for-bit. The
+comparator flags regressions between two campaigns — colors exceeding a
+stored run, bound violations appearing, round blowups — so refactors of the
+algorithms can be validated against a frozen baseline:
+
+    python -m repro campaign run --out baseline.json
+    ... hack on the library ...
+    python -m repro campaign check --baseline baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import ExperimentRecord
+from repro.errors import InvalidParameterError
+
+PathLike = Union[str, Path]
+
+CAMPAIGN_FORMAT = 1
+
+
+def default_grid() -> List[ExperimentRecord]:
+    """The standard grid: a compact version of every table reproduction."""
+    from repro.analysis.tables import run_section5, run_table1, run_table2
+
+    records: List[ExperimentRecord] = []
+    records.extend(run_table1(deltas=(8, 16), x_values=(1, 2), n=48))
+    records.extend(
+        run_table2(
+            configs=({"diversity": 2, "delta": 8}, {"diversity": 3, "delta": 6}),
+            x_values=(1, 2),
+        )
+    )
+    records.extend(run_section5(arboricities=(2,), include_recursive=False))
+    return records
+
+
+def _record_key(record: ExperimentRecord) -> str:
+    params = ",".join(f"{k}={v}" for k, v in sorted(record.params.items()))
+    return f"{record.experiment}|{record.workload}|{params}"
+
+
+def save_campaign(records: Sequence[ExperimentRecord], path: PathLike) -> None:
+    payload = {
+        "format": CAMPAIGN_FORMAT,
+        "library_version": _library_version(),
+        "python": platform.python_version(),
+        "records": [r.as_dict() for r in records],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_campaign(path: PathLike) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CAMPAIGN_FORMAT:
+        raise InvalidParameterError(
+            f"{path}: unsupported campaign format {payload.get('format')!r}"
+        )
+    return payload["records"]
+
+
+def _library_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _key_from_dict(row: Dict[str, Any]) -> str:
+    params = ",".join(
+        f"{k[len('param_'):]}={v}" for k, v in sorted(row.items()) if k.startswith("param_")
+    )
+    return f"{row['experiment']}|{row['workload']}|{params}"
+
+
+@dataclass
+class Regression:
+    key: str
+    field: str
+    baseline: Any
+    current: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.key}: {self.field} {self.baseline!r} -> {self.current!r}"
+
+
+def compare_campaigns(
+    baseline: Sequence[Dict[str, Any]],
+    current: Sequence[ExperimentRecord],
+    color_slack: int = 0,
+    round_slack: float = 0.25,
+) -> List[Regression]:
+    """Flag rows of ``current`` that regressed against ``baseline``.
+
+    Regressions: a row disappearing, a bound violation appearing, colors
+    exceeding the baseline by more than ``color_slack``, or measured rounds
+    exceeding the baseline by more than a ``round_slack`` fraction.
+    """
+    baseline_by_key = {_key_from_dict(row): row for row in baseline}
+    regressions: List[Regression] = []
+    for record in current:
+        key = _record_key(record)
+        old = baseline_by_key.get(key)
+        if old is None:
+            regressions.append(Regression(key, "missing-from-baseline", None, "present"))
+            continue
+        if old.get("within_bound") and record.within_bound is False:
+            regressions.append(
+                Regression(key, "within_bound", old["within_bound"], record.within_bound)
+            )
+        old_colors = old.get("colors_used")
+        if old_colors is not None and record.colors_used > old_colors + color_slack:
+            regressions.append(
+                Regression(key, "colors_used", old_colors, record.colors_used)
+            )
+        old_rounds = old.get("rounds_actual")
+        if (
+            old_rounds
+            and record.rounds_actual is not None
+            and record.rounds_actual > old_rounds * (1 + round_slack)
+        ):
+            regressions.append(
+                Regression(key, "rounds_actual", old_rounds, record.rounds_actual)
+            )
+    return regressions

@@ -1,0 +1,70 @@
+"""Experiment records: one structured row per (algorithm, workload) run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured data point for EXPERIMENTS.md / benchmark extra_info."""
+
+    experiment: str
+    workload: str
+    n: int
+    m: int
+    delta: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    colors_used: int = 0
+    colors_bound: Optional[float] = None
+    rounds_actual: Optional[float] = None
+    rounds_modeled: Optional[float] = None
+    baseline_colors: Optional[float] = None
+    baseline_rounds: Optional[float] = None
+    notes: str = ""
+
+    @property
+    def within_bound(self) -> Optional[bool]:
+        if self.colors_bound is None:
+            return None
+        return self.colors_used <= self.colors_bound
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "n": self.n,
+            "m": self.m,
+            "delta": self.delta,
+            **{f"param_{k}": v for k, v in self.params.items()},
+            "colors_used": self.colors_used,
+            "colors_bound": self.colors_bound,
+            "within_bound": self.within_bound,
+            "rounds_actual": self.rounds_actual,
+            "rounds_modeled": self.rounds_modeled,
+            "baseline_colors": self.baseline_colors,
+            "baseline_rounds": self.baseline_rounds,
+            "notes": self.notes,
+        }
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def records_to_markdown(records: List[ExperimentRecord], columns: List[str]) -> str:
+    """Render records as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    rows = []
+    for record in records:
+        data = record.as_dict()
+        rows.append("| " + " | ".join(_fmt(data.get(c)) for c in columns) + " |")
+    return "\n".join([header, rule, *rows])

@@ -1,0 +1,72 @@
+"""Minimal ASCII plotting for terminal-friendly experiment reports.
+
+No plotting dependency is available offline; these renderers draw
+scatter/line charts with unicode-free ASCII so EXPERIMENTS.md and the
+examples can show shapes (rounds vs Delta, colors vs x) inline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 14,
+    marker: str = "o",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render points as an ASCII scatter plot with axis ranges."""
+    if len(xs) != len(ys):
+        raise InvalidParameterError("xs and ys must have equal length")
+    if not xs:
+        raise InvalidParameterError("nothing to plot")
+    if width < 8 or height < 4:
+        raise InvalidParameterError("plot area too small")
+
+    tx = [math.log10(x) if log_x else float(x) for x in xs]
+    x_min, x_max = min(tx), max(tx)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(tx, ys):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    lines = [f"{y_label} (from {y_min:g} to {y_max:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_desc = f"{x_label} (from {min(xs):g} to {max(xs):g}"
+    x_desc += ", log scale)" if log_x else ")"
+    lines.append(" " + x_desc)
+    return "\n".join(lines)
+
+
+def ascii_series_table(
+    rows: Sequence[Tuple[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Labelled horizontal bars, scaled to the maximum value."""
+    if not rows:
+        raise InvalidParameterError("nothing to plot")
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        raise InvalidParameterError("bars need a positive maximum")
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = max(1, round(width * value / peak))
+        lines.append(
+            f"{label:<{label_width}} | {'#' * filled} {value:g}{unit}"
+        )
+    return "\n".join(lines)

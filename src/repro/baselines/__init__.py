@@ -1,0 +1,42 @@
+"""Baselines the paper compares against (executable and analytic)."""
+
+from repro.baselines.degree_splitting import (
+    DegreeSplittingResult,
+    degree_splitting_edge_coloring,
+    euler_split,
+)
+from repro.baselines.forest_coloring import (
+    ForestColoringResult,
+    forest_edge_coloring,
+)
+from repro.baselines.greedy import greedy_edge_coloring, greedy_vertex_coloring
+from repro.baselines.previous import TableRow, table1_row, table2_row
+from repro.baselines.randomized import (
+    RandomizedColoringResult,
+    randomized_edge_coloring,
+)
+from repro.baselines.vizing import misra_gries_edge_coloring
+from repro.baselines.weak_coloring import (
+    WeakColoringResult,
+    weak_edge_coloring,
+    weak_vertex_coloring,
+)
+
+__all__ = [
+    "DegreeSplittingResult",
+    "degree_splitting_edge_coloring",
+    "euler_split",
+    "ForestColoringResult",
+    "forest_edge_coloring",
+    "greedy_edge_coloring",
+    "greedy_vertex_coloring",
+    "TableRow",
+    "table1_row",
+    "table2_row",
+    "RandomizedColoringResult",
+    "randomized_edge_coloring",
+    "misra_gries_edge_coloring",
+    "WeakColoringResult",
+    "weak_edge_coloring",
+    "weak_vertex_coloring",
+]

@@ -1,0 +1,54 @@
+"""Centralized greedy colorings — simple correctness and quality references.
+
+Sequential greedy vertex coloring uses at most Delta+1 colors; sequential
+greedy edge coloring at most 2*Delta-1 (the palette any distributed
+(2Delta-1) algorithm such as Panconesi–Rizzi [33] targets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+from repro.errors import ColoringError
+from repro.types import Edge, EdgeColoring, NodeId, VertexColoring, edge_key
+
+
+def greedy_vertex_coloring(
+    graph: nx.Graph, order: Optional[Iterable[NodeId]] = None
+) -> VertexColoring:
+    """First-fit vertex coloring along ``order`` (default: sorted ids).
+    Uses at most Delta+1 colors."""
+    if order is None:
+        order = sorted(graph.nodes(), key=repr)
+    coloring: VertexColoring = {}
+    for v in order:
+        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[v] = color
+    return coloring
+
+
+def greedy_edge_coloring(
+    graph: nx.Graph, order: Optional[Iterable[Edge]] = None
+) -> EdgeColoring:
+    """First-fit edge coloring; uses at most 2*Delta-1 colors."""
+    if order is None:
+        order = sorted(
+            (edge_key(u, v) for u, v in graph.edges()),
+            key=lambda e: (repr(e[0]), repr(e[1])),
+        )
+    coloring: EdgeColoring = {}
+    incident: Dict[NodeId, set] = {v: set() for v in graph.nodes()}
+    for u, v in order:
+        used = incident[u] | incident[v]
+        color = 0
+        while color in used:
+            color += 1
+        coloring[edge_key(u, v)] = color
+        incident[u].add(color)
+        incident[v].add(color)
+    return coloring

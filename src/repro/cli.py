@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``info --graph FILE`` — structural parameters (n, m, Delta, arboricity
+  bounds, degeneracy) of an edge-list graph.
+* ``color --graph FILE --algorithm NAME [--x N] [--output FILE]`` — run one
+  of the reproduced edge-coloring algorithms (or a baseline) and report
+  colors/rounds; optionally write the coloring as JSON.
+* ``tables`` — print the Table 1 / Table 2 / Section 5 reproduction rows.
+* ``figures`` — print the Figure 1-3 connector bound checks.
+* ``experiments [OUT]`` — regenerate the EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro import io as repro_io
+from repro.analysis.verify import verify_edge_coloring
+from repro.graphs.properties import arboricity_bounds, degeneracy, max_degree
+from repro.local import RoundLedger
+
+EDGE_ALGORITHMS = (
+    "star4",
+    "star",
+    "cd",
+    "thm52",
+    "thm53",
+    "cor55",
+    "vizing",
+    "greedy",
+    "split",
+    "forest",
+    "weak",
+    "randomized",
+)
+
+
+def _run_edge_algorithm(graph, name: str, x: int):
+    """Returns (coloring, colors_used, rounds_actual, rounds_modeled)."""
+    ledger = RoundLedger()
+    if name == "star4":
+        from repro.core import four_delta_edge_coloring
+
+        result = four_delta_edge_coloring(graph, ledger=ledger)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "star":
+        from repro.core import star_partition_edge_coloring
+
+        result = star_partition_edge_coloring(graph, x=x, ledger=ledger)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "cd":
+        from repro.core import cd_edge_coloring
+
+        result = cd_edge_coloring(graph, x=x)
+        return result.coloring, result.colors_used, result.ledger.total_actual, result.ledger.total_modeled
+    if name == "thm52":
+        from repro.core import edge_color_bounded_arboricity
+
+        result = edge_color_bounded_arboricity(graph, ledger=ledger)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "thm53":
+        from repro.core import edge_color_orientation_connector
+
+        result = edge_color_orientation_connector(graph, ledger=ledger)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "cor55":
+        from repro.core import edge_color_delta_plus_o_delta
+
+        result = edge_color_delta_plus_o_delta(graph, ledger=ledger)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "vizing":
+        from repro.baselines import misra_gries_edge_coloring
+
+        coloring = misra_gries_edge_coloring(graph)
+        return coloring, len(set(coloring.values())), None, None
+    if name == "greedy":
+        from repro.baselines import greedy_edge_coloring
+
+        coloring = greedy_edge_coloring(graph)
+        return coloring, len(set(coloring.values())), None, None
+    if name == "split":
+        from repro.baselines import degree_splitting_edge_coloring
+
+        result = degree_splitting_edge_coloring(graph)
+        return result.coloring, result.colors_used, None, result.rounds_modeled
+    if name == "forest":
+        from repro.baselines.forest_coloring import forest_edge_coloring
+
+        result = forest_edge_coloring(graph)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "weak":
+        from repro.baselines import weak_edge_coloring
+
+        result = weak_edge_coloring(graph)
+        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
+    if name == "randomized":
+        from repro.baselines import randomized_edge_coloring
+
+        result = randomized_edge_coloring(graph)
+        return result.coloring, result.colors_used, float(result.rounds), float(result.rounds)
+    raise SystemExit(f"unknown algorithm {name!r}; choose from {EDGE_ALGORITHMS}")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = repro_io.read_edge_list(args.graph)
+    bounds = arboricity_bounds(graph)
+    print(f"n          = {graph.number_of_nodes()}")
+    print(f"m          = {graph.number_of_edges()}")
+    print(f"Delta      = {max_degree(graph)}")
+    print(f"degeneracy = {degeneracy(graph)}")
+    print(f"arboricity in [{bounds.lower}, {bounds.upper}]")
+    return 0
+
+
+def cmd_color(args: argparse.Namespace) -> int:
+    graph = repro_io.read_edge_list(args.graph)
+    coloring, used, rounds, modeled = _run_edge_algorithm(graph, args.algorithm, args.x)
+    verify_edge_coloring(graph, coloring)
+    delta = max_degree(graph)
+    print(f"algorithm      = {args.algorithm}")
+    print(f"Delta          = {delta}")
+    print(f"colors         = {used}")
+    if rounds is not None:
+        print(f"rounds         = {rounds:.0f}")
+    if modeled is not None:
+        print(f"rounds modeled = {modeled:.0f}")
+    if args.output:
+        repro_io.save_edge_coloring(coloring, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import main as tables_main
+
+    tables_main()
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import main as figures_main
+
+    figures_main()
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import main as experiments_main
+
+    experiments_main([args.output] if args.output else [])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Barenboim-Elkin-Maimon (PODC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="structural parameters of a graph")
+    info.add_argument("--graph", required=True, help="edge-list file")
+    info.set_defaults(func=cmd_info)
+
+    color = sub.add_parser("color", help="edge-color a graph")
+    color.add_argument("--graph", required=True, help="edge-list file")
+    color.add_argument("--algorithm", default="star4", choices=EDGE_ALGORITHMS)
+    color.add_argument("--x", type=int, default=1, help="recursion depth")
+    color.add_argument("--output", help="write the coloring as JSON")
+    color.set_defaults(func=cmd_color)
+
+    tables = sub.add_parser("tables", help="print the table reproductions")
+    tables.set_defaults(func=cmd_tables)
+
+    figures = sub.add_parser("figures", help="print the figure bound checks")
+    figures.set_defaults(func=cmd_figures)
+
+    experiments = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    experiments.add_argument("output", nargs="?", help="output path")
+    experiments.set_defaults(func=cmd_experiments)
+
+    campaign = sub.add_parser(
+        "campaign", help="run/compare persisted experiment campaigns"
+    )
+    campaign.add_argument("action", choices=("run", "check"))
+    campaign.add_argument("--out", help="where to save the campaign (run)")
+    campaign.add_argument("--baseline", help="baseline file to compare against (check)")
+    campaign.set_defaults(func=cmd_campaign)
+
+    return parser
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import (
+        compare_campaigns,
+        default_grid,
+        load_campaign,
+        save_campaign,
+    )
+
+    records = default_grid()
+    if args.action == "run":
+        if not args.out:
+            raise SystemExit("campaign run requires --out")
+        save_campaign(records, args.out)
+        print(f"saved {len(records)} records to {args.out}")
+        return 0
+    if not args.baseline:
+        raise SystemExit("campaign check requires --baseline")
+    baseline = load_campaign(args.baseline)
+    regressions = compare_campaigns(baseline, records)
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION {regression}")
+        return 1
+    print(f"no regressions across {len(records)} records")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The paper's core contribution: connectors and the three coloring
+algorithms built on them (clique decomposition, star partition, and the
+Section 5 bounded-arboricity pipeline)."""
+
+from repro.core.arboricity import (
+    ArboricityColoringResult,
+    CrossMergeAlgorithm,
+    edge_color_bounded_arboricity,
+    edge_color_delta_plus_o_delta,
+    edge_color_orientation_connector,
+    edge_color_recursive,
+    merge_cross_edges,
+)
+from repro.core.cd_coloring import (
+    CDColoringResult,
+    CDEdgeColoringResult,
+    cd_coloring,
+    cd_coloring_polylog,
+    cd_edge_coloring,
+)
+from repro.core.hyperedge import (
+    HyperedgeColoringResult,
+    cd_hyperedge_coloring,
+    verify_hyperedge_coloring,
+)
+from repro.core.connectors import (
+    EdgeConnector,
+    OrientationConnector,
+    build_clique_connector,
+    build_edge_connector,
+    build_orientation_connector,
+)
+from repro.core.params import (
+    Section5Params,
+    cd_palette_bound,
+    cd_target_colors,
+    choose_section5_params,
+    choose_t_clique,
+    choose_t_star,
+    choose_x_polylog,
+    clique_sizes_per_level,
+    star_palette_bound,
+    star_target_colors,
+)
+from repro.core.vertex_arboricity import (
+    VertexArboricityResult,
+    vertex_color_bounded_arboricity,
+)
+from repro.core.star_partition import (
+    StarPartitionResult,
+    four_delta_edge_coloring,
+    reduce_edge_coloring,
+    star_partition_edge_coloring,
+)
+
+__all__ = [
+    "ArboricityColoringResult",
+    "CrossMergeAlgorithm",
+    "edge_color_bounded_arboricity",
+    "edge_color_delta_plus_o_delta",
+    "edge_color_orientation_connector",
+    "edge_color_recursive",
+    "merge_cross_edges",
+    "CDColoringResult",
+    "CDEdgeColoringResult",
+    "cd_coloring",
+    "cd_coloring_polylog",
+    "cd_edge_coloring",
+    "HyperedgeColoringResult",
+    "cd_hyperedge_coloring",
+    "verify_hyperedge_coloring",
+    "EdgeConnector",
+    "OrientationConnector",
+    "build_clique_connector",
+    "build_edge_connector",
+    "build_orientation_connector",
+    "Section5Params",
+    "cd_palette_bound",
+    "cd_target_colors",
+    "choose_section5_params",
+    "choose_t_clique",
+    "choose_t_star",
+    "choose_x_polylog",
+    "clique_sizes_per_level",
+    "star_palette_bound",
+    "star_target_colors",
+    "VertexArboricityResult",
+    "vertex_color_bounded_arboricity",
+    "StarPartitionResult",
+    "four_delta_edge_coloring",
+    "reduce_edge_coloring",
+    "star_partition_edge_coloring",
+]

@@ -1,0 +1,135 @@
+"""Structural graph parameters the paper's bounds are stated in.
+
+Exact arboricity is a matroid-union computation; for the sizes this library
+targets we provide the standard sandwich
+``ceil(m / (n - 1)) <= a(G) <= degeneracy(G)`` (the upper bound because a
+k-degenerate graph decomposes into k forests via the elimination order, and
+degeneracy <= 2a - 1 always), plus an exact Nash-Williams density evaluation
+over a useful family of candidate subgraphs for small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import InvalidParameterError
+from repro.types import NodeId
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Delta(G); 0 for the empty graph."""
+    return max((d for _, d in graph.degree()), default=0)
+
+
+def degeneracy_ordering(graph: nx.Graph) -> Tuple[List[NodeId], int]:
+    """Smallest-last vertex ordering and the graph's degeneracy.
+
+    Returns ``(order, k)`` where each vertex has at most ``k`` neighbors
+    later in ``order``.
+    """
+    remaining = {v: set(graph.neighbors(v)) for v in graph.nodes()}
+    order: List[NodeId] = []
+    degeneracy = 0
+    # bucket queue over current degrees
+    buckets: Dict[int, set] = {}
+    degree_of: Dict[NodeId, int] = {}
+    for v, nbrs in remaining.items():
+        d = len(nbrs)
+        degree_of[v] = d
+        buckets.setdefault(d, set()).add(v)
+    removed = set()
+    for _ in range(len(remaining)):
+        d = 0
+        while not buckets.get(d):
+            d += 1
+        v = min(buckets[d], key=repr)
+        buckets[d].discard(v)
+        degeneracy = max(degeneracy, d)
+        order.append(v)
+        removed.add(v)
+        for u in remaining[v]:
+            if u in removed:
+                continue
+            du = degree_of[u]
+            buckets[du].discard(u)
+            degree_of[u] = du - 1
+            buckets.setdefault(du - 1, set()).add(u)
+    return order, degeneracy
+
+
+def degeneracy(graph: nx.Graph) -> int:
+    return degeneracy_ordering(graph)[1]
+
+
+@dataclass(frozen=True)
+class ArboricityBounds:
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise InvalidParameterError(
+                f"arboricity bounds crossed: {self.lower} > {self.upper}"
+            )
+
+
+def arboricity_bounds(graph: nx.Graph) -> ArboricityBounds:
+    """The Nash-Williams density lower bound and the degeneracy upper bound.
+
+    ``a(G) = max_H ceil(m_H / (n_H - 1))``; evaluating the density on the
+    whole graph and on every core (k-core for k up to the degeneracy) gives a
+    practical lower bound, while the degeneracy elimination order explicitly
+    decomposes the edges into ``degeneracy`` forests, an upper bound.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if n <= 1 or m == 0:
+        return ArboricityBounds(lower=0 if m == 0 else 1, upper=0 if m == 0 else 1)
+    lower = math.ceil(m / (n - 1))
+    upper = max(1, degeneracy(graph))
+    core_numbers = nx.core_number(graph)
+    for k in range(2, upper + 1):
+        core_nodes = [v for v, c in core_numbers.items() if c >= k]
+        if len(core_nodes) > 1:
+            sub = graph.subgraph(core_nodes)
+            ms, ns = sub.number_of_edges(), sub.number_of_nodes()
+            if ns > 1 and ms > 0:
+                lower = max(lower, math.ceil(ms / (ns - 1)))
+    lower = min(lower, upper)
+    return ArboricityBounds(lower=lower, upper=upper)
+
+
+def forest_decomposition(graph: nx.Graph) -> List[nx.Graph]:
+    """Decompose the edges into at most ``degeneracy(G)`` forests.
+
+    Each vertex has at most k = degeneracy neighbors *later* in the
+    smallest-last order; assigning each such edge a distinct index in
+    ``0..k-1`` at its earlier endpoint yields k forests (every vertex has at
+    most one parent per index, and parents are always later in the order, so
+    each index class is a functional forest).
+    """
+    order, k = degeneracy_ordering(graph)
+    position = {v: i for i, v in enumerate(order)}
+    forests = [nx.Graph() for _ in range(max(k, 1))]
+    for f in forests:
+        f.add_nodes_from(graph.nodes())
+    counter: Dict[NodeId, int] = {v: 0 for v in graph.nodes()}
+    for v in order:
+        for u in graph.neighbors(v):
+            if position[u] > position[v]:
+                forests[counter[v]].add_edge(v, u)
+                counter[v] += 1
+    for f in forests:
+        if not nx.is_forest(f):
+            raise AssertionError("forest decomposition produced a cycle")
+    return forests
+
+
+def is_proper_minor_free_like(graph: nx.Graph) -> bool:  # pragma: no cover - helper
+    """Heuristic used only by examples: planar => arboricity <= 3."""
+    result, _ = nx.check_planarity(graph)
+    return result

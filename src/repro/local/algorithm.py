@@ -1,0 +1,63 @@
+"""Algorithm interface for the synchronous LOCAL simulator.
+
+A :class:`NodeAlgorithm` is a state machine executed identically at every
+node. Each round the simulator calls :meth:`NodeAlgorithm.step` with the
+node's freshly delivered inbox; the node may update its local state, queue
+outgoing messages via :meth:`Node.send` / :meth:`Node.broadcast`, and halt.
+
+Deterministic algorithms in this library break symmetry using node ids (or a
+previously computed coloring passed through ``Context``), never randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.local.message import Message
+from repro.local.node import Node
+
+
+@dataclass
+class Context:
+    """Global knowledge shared by all nodes at algorithm start.
+
+    The LOCAL model conventionally lets nodes know ``n`` (or an upper bound)
+    and graph parameters such as the maximum degree. Orchestrators also use
+    the context to seed per-node inputs (e.g. an initial proper coloring, the
+    label of the subgraph a node belongs to).
+    """
+
+    n: int
+    max_degree: int
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def node_input(self, node_id: Any, key: str, default: Any = None) -> Any:
+        """Look up a per-node input previously stored under ``key``."""
+        table = self.extras.get(key)
+        if table is None:
+            return default
+        return table.get(node_id, default)
+
+
+class NodeAlgorithm:
+    """Base class for per-node LOCAL algorithms.
+
+    Subclasses override :meth:`initialize` (round 0, before any
+    communication) and :meth:`step` (one invocation per round per running
+    node). A node signals completion with :meth:`Node.halt`; the run ends
+    when every node has halted.
+    """
+
+    name = "node-algorithm"
+
+    def initialize(self, node: Node, ctx: Context) -> None:
+        """Set up local state and queue round-1 messages."""
+
+    def step(self, node: Node, inbox: List[Message], round_no: int, ctx: Context) -> None:
+        """Consume this round's inbox, update state, queue messages."""
+        raise NotImplementedError
+
+    def output(self, node: Node) -> Any:
+        """Extract the node's final output after it halted."""
+        return node.state.get("output")

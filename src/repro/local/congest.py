@@ -1,0 +1,52 @@
+"""Bandwidth accounting: how far is each algorithm from CONGEST?
+
+The paper works in LOCAL, where message size is unbounded. Deployments care
+whether an algorithm also fits CONGEST (O(log n)-bit messages). This module
+estimates payload sizes so the simulator can report the maximum message
+width an algorithm actually used:
+
+* Linial/Cole–Vishkin/reductions send a single color — O(log n) bits,
+  CONGEST-compatible.
+* The Lemma 5.1 merge sends used-color *sets* — Theta(Delta log Delta) bits,
+  LOCAL-only as implemented (the paper's model allows it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def estimate_payload_bits(payload: Any) -> int:
+    """A conservative estimate of the bits needed to encode ``payload``.
+
+    Integers cost their bit length; strings cost 8 bits per character;
+    containers cost the sum of their elements plus O(log) framing per item.
+    Unknown objects are charged by their repr. The estimate only needs to be
+    monotone and order-of-magnitude faithful — it feeds dashboards and
+    CONGEST-compatibility assertions, not correctness.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length() + 1)
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return max(1, 8 * len(payload))
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        framing = max(1, math.ceil(math.log2(len(payload) + 2)))
+        return framing + sum(estimate_payload_bits(item) for item in payload)
+    if isinstance(payload, dict):
+        framing = max(1, math.ceil(math.log2(len(payload) + 2)))
+        return framing + sum(
+            estimate_payload_bits(k) + estimate_payload_bits(v)
+            for k, v in payload.items()
+        )
+    return max(1, 8 * len(repr(payload)))
+
+
+def is_congest_width(bits: int, n: int, factor: float = 8.0) -> bool:
+    """Whether a message width fits CONGEST's O(log n) bits (with a
+    constant-factor allowance)."""
+    return bits <= factor * max(1.0, math.log2(max(n, 2)))

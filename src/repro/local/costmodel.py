@@ -1,0 +1,112 @@
+"""Closed-form round-cost models for the oracles the paper cites.
+
+The paper invokes the Fraigniaud–Heinrich–Kosowski (FHK, reference [17])
+coloring algorithm as a black box with running time
+``O(sqrt(Delta) * log^2.5(Delta) + log* n)``. Our executable oracle has the
+same *output* guarantee but a different round count, so every oracle
+invocation is charged twice in the :class:`~repro.local.ledger.RoundLedger`:
+once with the measured simulator rounds and once with the modeled FHK bound.
+Benchmarks report both; the paper's table *shapes* are validated against the
+modeled ledger, which is exactly how the paper derives its bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+
+def log_star(n: float) -> int:
+    """Iterated logarithm (base 2): number of times log2 is applied before
+    the value drops to at most 1. ``log_star(x) = 0`` for x <= 1."""
+    if n <= 1:
+        return 0
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def polylog(delta: float, exponent: float = 2.5) -> float:
+    """``log^exponent(delta)``, clamped so tiny degrees cost at least 1."""
+    return max(1.0, math.log2(max(delta, 2.0)) ** exponent)
+
+
+def fhk_vertex_rounds(delta: int, n: int) -> float:
+    """Modeled rounds of the [17] (Delta+1)-vertex-coloring oracle."""
+    if delta < 0 or n < 0:
+        raise InvalidParameterError("delta and n must be non-negative")
+    if delta == 0:
+        return 1.0
+    return math.sqrt(delta) * polylog(delta) + log_star(n)
+
+
+def fhk_edge_rounds(delta: int, n: int) -> float:
+    """Modeled rounds of the [17] (2Delta-1)-edge-coloring oracle.
+
+    Edge coloring is vertex coloring of the line graph, whose maximum degree
+    is ``2*delta - 2``; the line graph is simulated at O(1) overhead.
+    """
+    if delta <= 0:
+        return 1.0
+    return fhk_vertex_rounds(max(2 * delta - 2, 1), n)
+
+
+def linial_rounds(n: int, delta: int) -> float:
+    """Modeled rounds of Linial's O(Delta^2)-coloring: O(log* n)."""
+    return float(max(1, log_star(n)))
+
+
+def kuhn_wattenhofer_rounds(m: int, delta: int) -> float:
+    """Modeled rounds of the Kuhn–Wattenhofer reduction from an m-coloring
+    to (Delta+1) colors: O(Delta * log(m / Delta))."""
+    if m <= delta + 1:
+        return 0.0
+    return (delta + 1) * max(1.0, math.log2(m / max(delta + 1, 1)))
+
+
+def previous_edge_coloring_rounds(delta: int, n: int, x: int) -> float:
+    """Modeled round bound of the previous [7]+[17] (2^{x+1}+eps)Delta
+    edge-coloring: ``O(x * Delta^{1/(x+2)} + log* n)`` (Table 1, right)."""
+    if x < 1:
+        raise InvalidParameterError("x must be >= 1")
+    if delta <= 0:
+        return 1.0
+    return x * delta ** (1.0 / (x + 2)) + log_star(n)
+
+
+def new_edge_coloring_rounds(delta: int, n: int, x: int) -> float:
+    """Modeled round bound of this paper's (2^{x+1}Delta)-edge-coloring:
+    ``O~(x * Delta^{1/(2x+2)}) + O(log* n)`` (Table 1, left).
+
+    Both table columns are compared with their O~ polylog factors
+    suppressed, as the paper does.
+    """
+    if x < 1:
+        raise InvalidParameterError("x must be >= 1")
+    if delta <= 0:
+        return 1.0
+    return x * delta ** (1.0 / (2 * x + 2)) + log_star(n)
+
+
+def previous_diversity_coloring_rounds(delta: int, n: int, x: int, diversity: int) -> float:
+    """Modeled rounds of the previous [7]+[17] vertex-coloring of graphs with
+    bounded neighborhood independence (Table 2, right)."""
+    if x < 1 or diversity < 1:
+        raise InvalidParameterError("x >= 1 and diversity >= 1 required")
+    return x * (diversity ** x) * delta ** (1.0 / (x + 2)) + log_star(n)
+
+
+def new_diversity_coloring_rounds(clique_size: int, n: int, x: int, diversity: int) -> float:
+    """Modeled rounds of this paper's (D^{x+1}S)-coloring:
+    ``O~(x * sqrt(D) * S^{1/(x+1)}) + O(log* n)`` (Table 2, left)."""
+    if x < 1 or diversity < 1:
+        raise InvalidParameterError("x >= 1 and diversity >= 1 required")
+    if clique_size <= 1:
+        return 1.0
+    return (
+        x * math.sqrt(diversity) * clique_size ** (1.0 / (x + 1)) + log_star(n)
+    )

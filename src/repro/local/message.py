@@ -1,0 +1,29 @@
+"""Messages exchanged over edges of the simulated network.
+
+In the LOCAL model message size is unbounded; payloads are arbitrary Python
+objects. A :class:`Message` records its sender so receiving nodes can
+attribute payloads to ports/neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in transit.
+
+    Attributes:
+        sender: id of the node that emitted the message.
+        payload: arbitrary content; by LOCAL-model convention unbounded.
+    """
+
+    sender: NodeId
+    payload: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Message(from={self.sender!r}, payload={self.payload!r})"

@@ -1,0 +1,43 @@
+"""Small prime utilities for Linial's polynomial set-system construction."""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin, exact for all 64-bit integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # Witness set proven exact for n < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime >= n (>= 2)."""
+    if n > 2**63:
+        raise InvalidParameterError("next_prime only supports 64-bit inputs")
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate

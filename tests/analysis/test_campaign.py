@@ -1,0 +1,85 @@
+"""Tests for the campaign persistence and regression comparison."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.analysis.campaign import (
+    compare_campaigns,
+    load_campaign,
+    save_campaign,
+)
+from repro.analysis.metrics import ExperimentRecord
+
+
+def make_record(colors=10, rounds=20.0, bound=16, experiment="t1", x=1):
+    return ExperimentRecord(
+        experiment=experiment,
+        workload="w",
+        n=10,
+        m=20,
+        delta=4,
+        params={"x": x},
+        colors_used=colors,
+        colors_bound=bound,
+        rounds_actual=rounds,
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        records = [make_record(), make_record(experiment="t2", x=2)]
+        path = tmp_path / "c.json"
+        save_campaign(records, path)
+        loaded = load_campaign(path)
+        assert len(loaded) == 2
+        assert loaded[0]["experiment"] == "t1"
+        assert loaded[0]["param_x"] == 1
+        assert loaded[0]["within_bound"] is True
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text('{"format": 99, "records": []}')
+        with pytest.raises(InvalidParameterError):
+            load_campaign(path)
+
+
+class TestComparison:
+    def _baseline(self, tmp_path, records):
+        path = tmp_path / "b.json"
+        save_campaign(records, path)
+        return load_campaign(path)
+
+    def test_identical_runs_clean(self, tmp_path):
+        records = [make_record()]
+        baseline = self._baseline(tmp_path, records)
+        assert compare_campaigns(baseline, records) == []
+
+    def test_color_regression_flagged(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record(colors=10)])
+        regressions = compare_campaigns(baseline, [make_record(colors=12)])
+        assert any(r.field == "colors_used" for r in regressions)
+
+    def test_color_slack_suppresses(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record(colors=10)])
+        assert compare_campaigns(baseline, [make_record(colors=12)], color_slack=2) == []
+
+    def test_round_regression_flagged(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record(rounds=20.0)])
+        regressions = compare_campaigns(baseline, [make_record(rounds=40.0)])
+        assert any(r.field == "rounds_actual" for r in regressions)
+
+    def test_round_slack_tolerates_jitter(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record(rounds=20.0)])
+        assert compare_campaigns(baseline, [make_record(rounds=24.0)]) == []
+
+    def test_bound_violation_flagged(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record(colors=10, bound=16)])
+        broken = [make_record(colors=17, bound=16)]
+        regressions = compare_campaigns(baseline, broken, color_slack=100)
+        assert any(r.field == "within_bound" for r in regressions)
+
+    def test_new_row_flagged_as_missing(self, tmp_path):
+        baseline = self._baseline(tmp_path, [make_record()])
+        extra = [make_record(), make_record(experiment="brand-new")]
+        regressions = compare_campaigns(baseline, extra)
+        assert any(r.field == "missing-from-baseline" for r in regressions)

@@ -1,0 +1,68 @@
+"""Tests for experiment records and the figure reproductions."""
+
+from repro.analysis import (
+    ExperimentRecord,
+    all_figures,
+    figure1_clique_connector,
+    figure2_edge_connector,
+    figure3_orientation_connector,
+    records_to_markdown,
+)
+
+
+class TestExperimentRecord:
+    def test_within_bound(self):
+        r = ExperimentRecord(
+            experiment="t", workload="w", n=1, m=1, delta=1,
+            colors_used=5, colors_bound=10,
+        )
+        assert r.within_bound is True
+        r.colors_used = 20
+        assert r.within_bound is False
+
+    def test_within_bound_none_without_bound(self):
+        r = ExperimentRecord(experiment="t", workload="w", n=1, m=1, delta=1)
+        assert r.within_bound is None
+
+    def test_as_dict_flattens_params(self):
+        r = ExperimentRecord(
+            experiment="t", workload="w", n=1, m=2, delta=3, params={"x": 9}
+        )
+        assert r.as_dict()["param_x"] == 9
+
+    def test_markdown_rendering(self):
+        r = ExperimentRecord(
+            experiment="t1", workload="w", n=1, m=2, delta=3, colors_used=4
+        )
+        table = records_to_markdown([r], ["experiment", "colors_used", "colors_bound"])
+        assert "| t1 | 4 | — |" in table
+        assert table.splitlines()[0].startswith("| experiment")
+
+
+class TestFigures:
+    def test_figure1_degree_bound(self):
+        report = figure1_clique_connector(t=4, clique_size=8)
+        assert report.within_bound
+        # the hub vertex originally has degree 2*(8-1)=14; connector caps at
+        # D*(t-1) = 2*3 = 6
+        assert report.base_max_degree == 14
+        assert report.connector_max_degree <= 6
+
+    def test_figure2_degree_is_t(self):
+        report = figure2_edge_connector(t=3, star_size=7)
+        assert report.within_bound
+        assert report.connector_max_degree <= 3
+        assert report.base_max_degree >= 7
+
+    def test_figure3_bound(self):
+        report = figure3_orientation_connector(in_group=3, out_group=2)
+        assert report.within_bound
+        assert report.connector_max_degree <= 5
+
+    def test_all_figures_render(self):
+        reports = all_figures()
+        assert len(reports) == 3
+        for report in reports:
+            assert report.within_bound
+            assert report.dot.startswith("graph")
+            assert report.summary()

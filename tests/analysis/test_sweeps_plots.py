@@ -1,0 +1,81 @@
+"""Tests for the live-delta sweeps and ASCII plotting."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.analysis.plots import ascii_scatter, ascii_series_table
+from repro.analysis.sweeps import star_partition_delta_sweep
+
+
+class TestDeltaSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return star_partition_delta_sweep(x=1, deltas=(9, 16, 25), n=40, seed=5)
+
+    def test_all_points_within_bound(self, sweep):
+        assert sweep.max_color_ratio() <= 1.0
+        for point in sweep.points:
+            assert point.colors_used <= point.colors_bound
+
+    def test_rounds_grow_sublinearly_in_delta(self, sweep):
+        # At toy scale the FHK polylog factor dominates, so we cannot see
+        # the asymptotic Delta^(1/4); but growth must stay well below linear
+        # *in the work per round* sense: doubling Delta must not double+
+        # the modeled rounds beyond the polylog drift.
+        first, last = sweep.points[0], sweep.points[-1]
+        delta_ratio = last.delta / first.delta
+        rounds_ratio = last.rounds_modeled / first.rounds_modeled
+        assert rounds_ratio < 1.5 * delta_ratio
+
+    def test_fit_produces_finite_exponent(self, sweep):
+        fit = sweep.fit_modeled_rounds()
+        assert 0.0 < fit.exponent < 2.0
+
+    def test_deeper_x_cheaper_modeled_rounds(self):
+        shallow = star_partition_delta_sweep(x=1, deltas=(25,), n=40, seed=5)
+        deep = star_partition_delta_sweep(x=2, deltas=(25,), n=40, seed=5)
+        assert deep.points[0].rounds_modeled <= shallow.points[0].rounds_modeled
+        assert deep.points[0].colors_bound > shallow.points[0].colors_bound
+
+
+class TestAsciiScatter:
+    def test_renders_axes_and_markers(self):
+        out = ascii_scatter([1, 2, 3], [1, 4, 9], width=20, height=6)
+        grid = [line for line in out.splitlines() if line.startswith("|")]
+        assert sum(line.count("o") for line in grid) == 3
+        assert "from 1 to 9" in out
+        assert "from 1 to 3" in out
+
+    def test_log_x(self):
+        out = ascii_scatter([10, 100, 1000], [1, 2, 3], width=20, height=6, log_x=True)
+        assert "log scale" in out
+
+    def test_constant_series_handled(self):
+        out = ascii_scatter([1, 2], [5, 5], width=10, height=4)
+        assert out.count("o") >= 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter([], [], width=20, height=6)
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter([1], [1, 2])
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter([1], [1], width=2, height=2)
+
+
+class TestSeriesTable:
+    def test_bars_scale_to_peak(self):
+        out = ascii_series_table([("a", 5), ("b", 10)], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        out = ascii_series_table([("x", 3)], unit=" rounds")
+        assert "3 rounds" in out
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_series_table([])
+        with pytest.raises(InvalidParameterError):
+            ascii_series_table([("a", 0)])

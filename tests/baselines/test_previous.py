@@ -1,0 +1,54 @@
+"""Tests for the analytic [7]+[17] comparison rows."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.baselines import table1_row, table2_row
+
+
+class TestTable1Rows:
+    def test_color_columns(self):
+        row = table1_row(delta=100, n=1000, x=1)
+        assert row.new_colors == 400  # 4 Delta
+        assert row.previous_colors == pytest.approx(410)  # (4 + 0.1) Delta
+
+    @pytest.mark.parametrize("x,factor", [(1, 4), (2, 8), (3, 16)])
+    def test_doubling_color_ladder(self, x, factor):
+        row = table1_row(delta=10, n=100, x=x)
+        assert row.new_colors == factor * 10
+
+    def test_new_rounds_beat_previous_asymptotically(self):
+        row = table1_row(delta=10**8, n=10**6, x=1)
+        assert row.round_speedup > 1
+
+    def test_speedup_grows_with_delta(self):
+        s1 = table1_row(delta=10**4, n=100, x=2).round_speedup
+        s2 = table1_row(delta=10**8, n=100, x=2).round_speedup
+        assert s2 > s1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            table1_row(delta=0, n=10, x=1)
+        with pytest.raises(InvalidParameterError):
+            table1_row(delta=10, n=10, x=0)
+
+
+class TestTable2Rows:
+    def test_color_columns(self):
+        row = table2_row(diversity=2, clique_size=50, delta=90, n=1000, x=1)
+        assert row.new_colors == 4 * 50  # D^2 S
+        assert row.previous_colors == pytest.approx((4 + 0.1) * 90)
+
+    def test_diversity_ladder(self):
+        for d in (2, 3, 4):
+            row = table2_row(diversity=d, clique_size=10, delta=30, n=100, x=2)
+            assert row.new_colors == d**3 * 10
+
+    def test_new_colors_can_beat_previous_when_s_below_delta(self):
+        # S <= Delta is the regime where D^(x+1) S < (D^(x+1)+eps) Delta
+        row = table2_row(diversity=2, clique_size=20, delta=38, n=100, x=1)
+        assert row.new_colors < row.previous_colors
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            table2_row(diversity=0, clique_size=5, delta=5, n=10, x=1)

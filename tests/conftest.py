@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle,
+    disjoint_cliques,
+    erdos_renyi,
+    forest_union,
+    hypercube,
+    path,
+    planar_grid,
+    random_regular,
+    random_tree,
+    shared_vertex_cliques,
+    triangular_grid,
+)
+
+
+def _isolated_plus_edges() -> nx.Graph:
+    graph = nx.Graph([(0, 1), (2, 3)])
+    graph.add_nodes_from([10, 11])
+    return graph
+
+
+# A diverse small-graph menagerie: (name -> graph factory). Kept small so the
+# whole suite runs in minutes while still covering degenerate shapes.
+SMALL_GRAPHS = {
+    "empty": nx.Graph,
+    "single": lambda: nx.path_graph(1),
+    "one-edge": lambda: nx.path_graph(2),
+    "path-7": lambda: path(7),
+    "cycle-8": lambda: cycle(8),
+    "cycle-9": lambda: cycle(9),
+    "star-9": lambda: nx.star_graph(9),
+    "k5": lambda: complete_graph(5),
+    "k8": lambda: complete_graph(8),
+    "petersen": nx.petersen_graph,
+    "grid-4x5": lambda: planar_grid(4, 5),
+    "tri-grid-4x4": lambda: triangular_grid(4, 4),
+    "hypercube-4": lambda: hypercube(4),
+    "tree-20": lambda: random_tree(20, seed=4),
+    "gnp-30": lambda: erdos_renyi(30, 0.2, seed=5),
+    "gnp-60-sparse": lambda: erdos_renyi(60, 0.06, seed=6),
+    "regular-24-6": lambda: random_regular(24, 6, seed=7),
+    "forest-union-40-3": lambda: forest_union(40, 3, seed=8),
+    "cliques-3x5": lambda: disjoint_cliques(3, 5),
+    "shared-cliques": lambda: shared_vertex_cliques(5, 3),
+    "isolated+edges": _isolated_plus_edges,
+}
+
+_NONEMPTY = [name for name in sorted(SMALL_GRAPHS) if SMALL_GRAPHS[name]().number_of_edges() > 0]
+
+
+def small_graph(name: str) -> nx.Graph:
+    return SMALL_GRAPHS[name]()
+
+
+@pytest.fixture(params=sorted(SMALL_GRAPHS))
+def any_graph(request) -> nx.Graph:
+    """Parametrized over the whole menagerie."""
+    return small_graph(request.param)
+
+
+@pytest.fixture(params=_NONEMPTY)
+def nonempty_graph(request) -> nx.Graph:
+    """Parametrized over graphs with at least one edge."""
+    return small_graph(request.param)

@@ -1,0 +1,121 @@
+"""Tests for the deterministic graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import (
+    arboricity_bounds,
+    complete_graph,
+    disjoint_cliques,
+    erdos_renyi,
+    forest_union,
+    hypercube,
+    max_degree,
+    planar_grid,
+    random_bipartite_regular,
+    random_regular,
+    random_tree,
+    shared_vertex_cliques,
+    star_forest_stack,
+    triangular_grid,
+)
+
+
+class TestBasicGenerators:
+    def test_erdos_renyi_size_and_determinism(self):
+        g1 = erdos_renyi(50, 0.1, seed=3)
+        g2 = erdos_renyi(50, 0.1, seed=3)
+        assert g1.number_of_nodes() == 50
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_erdos_renyi_p_validation(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(10, 1.5)
+
+    def test_random_regular_degrees(self):
+        g = random_regular(20, 6, seed=1)
+        assert all(d == 6 for _, d in g.degree())
+
+    def test_random_regular_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular(5, 5)
+        with pytest.raises(InvalidParameterError):
+            random_regular(7, 3)  # odd product
+
+    def test_random_tree_is_tree(self):
+        for n in (1, 2, 3, 17):
+            g = random_tree(n, seed=n)
+            assert g.number_of_nodes() == n
+            assert nx.is_tree(g)
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_grids_are_planar_with_low_arboricity(self):
+        grid = planar_grid(5, 6)
+        tri = triangular_grid(5, 6)
+        assert arboricity_bounds(grid).upper <= 2
+        assert arboricity_bounds(tri).upper <= 3
+        assert nx.check_planarity(grid)[0]
+        assert nx.check_planarity(tri)[0]
+
+
+class TestArboricityControlled:
+    @pytest.mark.parametrize("a", [1, 2, 4])
+    def test_forest_union_arboricity(self, a):
+        g = forest_union(40, a, seed=2)
+        bounds = arboricity_bounds(g)
+        assert bounds.upper <= 2 * a  # union of a forests
+        assert g.number_of_edges() <= a * 39
+
+    def test_forest_union_high_degree_vs_arboricity(self):
+        g = forest_union(120, 3, seed=9)
+        assert max_degree(g) > 3  # Delta well above a
+
+    @pytest.mark.parametrize("a", [1, 2, 3])
+    def test_star_forest_stack(self, a):
+        g = star_forest_stack(n_centers=4, leaves_per_center=10, a=a, seed=1)
+        bounds = arboricity_bounds(g)
+        assert bounds.upper <= a + 1
+        assert max_degree(g) >= 8  # stars concentrate degree
+
+    def test_star_forest_validation(self):
+        with pytest.raises(InvalidParameterError):
+            star_forest_stack(0, 5, 1)
+
+
+class TestCliqueGadgets:
+    def test_disjoint_cliques(self):
+        g = disjoint_cliques(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 6
+        assert nx.number_connected_components(g) == 3
+
+    def test_shared_vertex_cliques_diversity_hub(self):
+        g = shared_vertex_cliques(clique_size=5, num_cliques=3)
+        # hub 0 is in all three cliques
+        assert g.degree(0) == 3 * 4
+        assert g.number_of_nodes() == 1 + 3 * 4
+
+    def test_shared_vertex_validation(self):
+        with pytest.raises(InvalidParameterError):
+            shared_vertex_cliques(1, 2)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+
+
+class TestBipartite:
+    def test_bipartite_regular_bounded_degree(self):
+        g = random_bipartite_regular(10, 4, seed=5)
+        assert g.number_of_nodes() == 20
+        assert max_degree(g) <= 4
+        assert nx.is_bipartite(g)
+
+    def test_bipartite_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_bipartite_regular(3, 4)

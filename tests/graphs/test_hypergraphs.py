@@ -1,0 +1,99 @@
+"""Tests for hypergraphs and their line graphs (diversity <= uniformity)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import (
+    Hypergraph,
+    max_degree,
+    random_uniform_hypergraph,
+    regular_partite_hypergraph,
+)
+
+
+class TestHypergraph:
+    def test_from_edges(self):
+        h = Hypergraph.from_edges([[0, 1, 2], [2, 3, 4]])
+        assert len(h.edges) == 2
+        assert h.uniformity == 3
+        assert h.is_uniform()
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Hypergraph.from_edges([[0, 1], [1, 0]])
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Hypergraph.from_edges([[]])
+
+    def test_vertex_degree(self):
+        h = Hypergraph.from_edges([[0, 1, 2], [2, 3, 4], [2, 5, 6]])
+        assert h.vertex_degree(2) == 3
+        assert h.vertex_degree(0) == 1
+        assert h.max_vertex_degree() == 3
+
+    def test_non_uniform(self):
+        h = Hypergraph.from_edges([[0, 1], [2, 3, 4]])
+        assert not h.is_uniform()
+        assert h.uniformity == 3
+
+
+class TestLineGraph:
+    def test_adjacency_iff_intersection(self):
+        h = Hypergraph.from_edges([[0, 1, 2], [2, 3, 4], [5, 6, 7]])
+        line, _ = h.line_graph_with_cover()
+        assert line.has_edge(0, 1)
+        assert not line.has_edge(0, 2)
+        assert not line.has_edge(1, 2)
+
+    def test_cover_diversity_at_most_uniformity(self):
+        h = random_uniform_hypergraph(n=20, num_edges=40, c=3, seed=1)
+        line, cover = h.line_graph_with_cover()
+        cover.validate(line)
+        assert cover.diversity() <= 3
+
+    def test_cover_clique_size_is_max_vertex_degree(self):
+        h = random_uniform_hypergraph(n=15, num_edges=30, c=3, seed=2)
+        _, cover = h.line_graph_with_cover()
+        assert cover.max_clique_size() == h.max_vertex_degree()
+
+    def test_degree_bounded_by_c_times_clique(self):
+        h = random_uniform_hypergraph(n=18, num_edges=36, c=4, seed=3)
+        line, cover = h.line_graph_with_cover()
+        assert max_degree(line) <= 4 * (cover.max_clique_size() - 1)
+
+
+class TestGenerators:
+    def test_random_uniform_counts(self):
+        h = random_uniform_hypergraph(n=12, num_edges=20, c=3, seed=5)
+        assert len(h.edges) == 20
+        assert all(len(e) == 3 for e in h.edges)
+        assert h.is_uniform()
+
+    def test_random_uniform_determinism(self):
+        h1 = random_uniform_hypergraph(10, 15, 3, seed=9)
+        h2 = random_uniform_hypergraph(10, 15, 3, seed=9)
+        assert h1.edges == h2.edges
+
+    def test_random_uniform_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_uniform_hypergraph(5, 10, 1)
+        with pytest.raises(InvalidParameterError):
+            random_uniform_hypergraph(2, 10, 3)
+
+    def test_too_many_edges_rejected(self):
+        # only C(4,3) = 4 distinct triples exist
+        with pytest.raises(InvalidParameterError):
+            random_uniform_hypergraph(4, 10, 3)
+
+    def test_regular_partite(self):
+        h = regular_partite_hypergraph(groups=5, group_size=3, c=3)
+        assert h.is_uniform()
+        assert h.uniformity == 3
+        line, cover = h.line_graph_with_cover()
+        cover.validate(line)
+        assert cover.diversity() <= 3
+
+    def test_regular_partite_validation(self):
+        with pytest.raises(InvalidParameterError):
+            regular_partite_hypergraph(groups=2, group_size=3, c=3)

@@ -1,0 +1,83 @@
+"""Tests for acyclic orientations."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import Orientation, orient_acyclic_by_order
+from repro.types import edge_key
+
+
+class TestOrientation:
+    def test_orient_by_chooser(self):
+        g = nx.path_graph(4)
+        o = Orientation.orient_by(g, lambda u, v: max(u, v))
+        assert o.head_of(0, 1) == 1
+        assert o.tail_of(0, 1) == 0
+        assert o.is_acyclic()
+
+    def test_out_in_edges(self):
+        g = nx.star_graph(3)
+        o = Orientation.orient_by(g, lambda u, v: max(u, v))
+        assert len(o.out_edges(0)) == 3
+        assert len(o.in_edges(0)) == 0
+        assert o.out_degree(0) == 3
+        assert o.max_out_degree() == 3
+
+    def test_cycle_orientation_detected(self):
+        g = nx.cycle_graph(3)
+        # orient 0->1, 1->2, 2->0: a directed cycle
+        head = {
+            edge_key(0, 1): 1,
+            edge_key(1, 2): 2,
+            edge_key(0, 2): 0,
+        }
+        o = Orientation(graph=g, head=head)
+        assert not o.is_acyclic()
+
+    def test_invalid_head_rejected(self):
+        g = nx.path_graph(2)
+        with pytest.raises(InvalidParameterError):
+            Orientation(graph=g, head={edge_key(0, 1): 9})
+
+    def test_as_digraph(self):
+        g = nx.path_graph(3)
+        o = orient_acyclic_by_order(g, [0, 1, 2])
+        dg = o.as_digraph()
+        assert set(dg.edges()) == {(0, 1), (1, 2)}
+
+
+class TestOrientByOrder:
+    def test_acyclic_with_forward_degree(self, nonempty_graph):
+        order = sorted(nonempty_graph.nodes(), key=repr)
+        o = orient_acyclic_by_order(nonempty_graph, order)
+        assert o.is_acyclic()
+        position = {v: i for i, v in enumerate(order)}
+        for v in nonempty_graph.nodes():
+            expected = sum(
+                1 for u in nonempty_graph.neighbors(v) if position[u] > position[v]
+            )
+            assert o.out_degree(v) == expected
+
+    def test_missing_vertices_rejected(self):
+        g = nx.path_graph(3)
+        with pytest.raises(InvalidParameterError):
+            orient_acyclic_by_order(g, [0, 1])
+
+
+class TestRestrict:
+    def test_restrict_keeps_directions(self):
+        g = nx.cycle_graph(5)
+        o = orient_acyclic_by_order(g, list(range(5)))
+        sub = nx.Graph([(0, 1), (1, 2)])
+        ro = o.restrict(sub)
+        assert ro.head_of(0, 1) == o.head_of(0, 1)
+        assert ro.is_acyclic()
+        assert ro.max_out_degree() <= o.max_out_degree()
+
+    def test_restrict_unknown_edge_rejected(self):
+        g = nx.path_graph(3)
+        o = orient_acyclic_by_order(g, [0, 1, 2])
+        stranger = nx.Graph([(0, 2)])
+        with pytest.raises(InvalidParameterError):
+            o.restrict(stranger)

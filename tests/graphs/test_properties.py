@@ -1,0 +1,96 @@
+"""Tests for degeneracy, arboricity bounds and forest decomposition."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    arboricity_bounds,
+    degeneracy,
+    degeneracy_ordering,
+    forest_decomposition,
+    max_degree,
+)
+
+
+class TestMaxDegree:
+    def test_empty(self):
+        assert max_degree(nx.Graph()) == 0
+
+    def test_star(self):
+        assert max_degree(nx.star_graph(6)) == 6
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (nx.path_graph(5), 1),
+            (nx.cycle_graph(7), 2),
+            (nx.complete_graph(6), 5),
+            (nx.star_graph(9), 1),
+            (nx.grid_2d_graph(4, 4), 2),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert degeneracy(graph) == expected
+
+    def test_ordering_property(self, nonempty_graph):
+        order, k = degeneracy_ordering(nonempty_graph)
+        position = {v: i for i, v in enumerate(order)}
+        for v in nonempty_graph.nodes():
+            forward = sum(
+                1 for u in nonempty_graph.neighbors(v) if position[u] > position[v]
+            )
+            assert forward <= k
+
+    def test_order_covers_all_vertices(self, any_graph):
+        order, _ = degeneracy_ordering(any_graph)
+        assert sorted(order, key=repr) == sorted(any_graph.nodes(), key=repr)
+
+
+class TestArboricityBounds:
+    def test_tree(self):
+        bounds = arboricity_bounds(nx.random_labeled_tree(20, seed=1) if hasattr(nx, "random_labeled_tree") else nx.path_graph(20))
+        assert bounds.lower == 1
+        assert bounds.upper == 1
+
+    def test_complete_graph(self):
+        # a(K_n) = ceil(n/2)
+        bounds = arboricity_bounds(nx.complete_graph(8))
+        assert bounds.lower == 4
+        assert bounds.upper >= 4
+
+    def test_cycle(self):
+        bounds = arboricity_bounds(nx.cycle_graph(9))
+        assert bounds.lower == 1 or bounds.lower == 2
+        assert bounds.upper == 2
+
+    def test_lower_le_upper(self, any_graph):
+        bounds = arboricity_bounds(any_graph)
+        assert bounds.lower <= bounds.upper
+
+    def test_empty(self):
+        bounds = arboricity_bounds(nx.Graph())
+        assert bounds.lower == 0
+        assert bounds.upper == 0
+
+
+class TestForestDecomposition:
+    def test_forests_are_forests_and_partition_edges(self, nonempty_graph):
+        forests = forest_decomposition(nonempty_graph)
+        seen = set()
+        for forest in forests:
+            assert nx.is_forest(forest)
+            for u, v in forest.edges():
+                key = tuple(sorted((repr(u), repr(v))))
+                assert key not in seen
+                seen.add(key)
+        expected = {
+            tuple(sorted((repr(u), repr(v)))) for u, v in nonempty_graph.edges()
+        }
+        assert seen == expected
+
+    def test_count_matches_degeneracy(self):
+        g = nx.complete_graph(7)
+        forests = forest_decomposition(g)
+        assert len(forests) == degeneracy(g)

@@ -1,0 +1,49 @@
+"""Tests for the per-round message profile of the simulator."""
+
+import networkx as nx
+
+from repro.local import NodeAlgorithm, run_on_graph
+
+
+class TwoBursts(NodeAlgorithm):
+    """Broadcast at initialize and again at round 2, halt at round 3."""
+
+    def initialize(self, node, ctx):
+        node.broadcast("a")
+
+    def step(self, node, inbox, round_no, ctx):
+        if round_no == 2:
+            node.broadcast("b")
+        if round_no == 3:
+            node.halt()
+
+
+class TestRoundMessages:
+    def test_profile_matches_schedule(self):
+        g = nx.cycle_graph(5)  # 10 directed messages per full broadcast
+        result = run_on_graph(g, TwoBursts())
+        assert result.rounds == 3
+        assert result.round_messages == [10, 0, 10]
+        assert result.messages == 20
+        assert result.peak_round_messages == 10
+
+    def test_empty_profile(self):
+        result = run_on_graph(nx.Graph(), TwoBursts())
+        assert result.round_messages == []
+        assert result.peak_round_messages == 0
+
+    def test_substrate_message_complexity_is_bounded(self):
+        # Linial sends at most one message per edge direction per round.
+        from repro.graphs import random_regular
+        from repro.substrates.linial import LinialAlgorithm, linial_schedule
+
+        g = random_regular(30, 4, seed=1)
+        ordered = sorted(g.nodes())
+        initial = {v: i * 40 for i, v in enumerate(ordered)}
+        result = run_on_graph(
+            g,
+            LinialAlgorithm(),
+            extras={"initial_coloring": initial, "m0": max(initial.values()) + 1},
+        )
+        for per_round in result.round_messages:
+            assert per_round <= 2 * g.number_of_edges()

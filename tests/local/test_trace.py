@@ -1,0 +1,76 @@
+"""Tests for the execution tracer."""
+
+import networkx as nx
+
+from repro.local import Network, NodeAlgorithm, Tracer
+
+
+class RelayOnce(NodeAlgorithm):
+    def initialize(self, node, ctx):
+        if node.id == 0:
+            node.broadcast("ping")
+
+    def step(self, node, inbox, round_no, ctx):
+        node.halt()
+
+
+class TestTracer:
+    def test_records_rounds_sends_and_halts(self):
+        net = Network(nx.path_graph(3))
+        tracer = Tracer()
+        net.run(RelayOnce(), tracer=tracer)
+        assert tracer.rounds[0].round_no == 0
+        assert ("0" in repr(tracer.rounds[0].sent)) or tracer.rounds[0].sent
+        assert tracer.total_recorded_messages == 1  # 0 -> 1
+        halted = [v for rt in tracer.rounds for v in rt.halted]
+        assert sorted(halted) == [0, 1, 2]
+
+    def test_watch_filter(self):
+        net = Network(nx.star_graph(4))
+        tracer = Tracer(watch={99})
+        net.run(RelayOnce(), tracer=tracer)
+        assert tracer.total_recorded_messages == 0
+        assert all(not rt.stepped for rt in tracer.rounds)
+
+    def test_crash_recorded(self):
+        class Loiter(NodeAlgorithm):
+            def step(self, node, inbox, round_no, ctx):
+                if round_no >= 3:
+                    node.halt()
+
+        net = Network(nx.path_graph(2))
+        tracer = Tracer()
+        result = net.run(Loiter(), crashes={1: 2}, tracer=tracer)
+        crashed = [v for rt in tracer.rounds for v in rt.crashed]
+        assert crashed == [1]
+        assert result.crashed == frozenset({1})
+
+    def test_render_truncates_payloads(self):
+        class BigPayload(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.broadcast("x" * 200)
+
+            def step(self, node, inbox, round_no, ctx):
+                node.halt()
+
+        net = Network(nx.path_graph(2))
+        tracer = Tracer(max_payload_repr=20)
+        net.run(BigPayload(), tracer=tracer)
+        rendered = tracer.render()
+        assert "..." in rendered
+        assert "round 0" in rendered
+
+    def test_render_overflow_line(self):
+        net = Network(nx.star_graph(12))
+
+        class Blast(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.broadcast("hi")
+
+            def step(self, node, inbox, round_no, ctx):
+                node.halt()
+
+        tracer = Tracer()
+        net.run(Blast(), tracer=tracer)
+        rendered = tracer.render(max_events_per_round=3)
+        assert "more messages" in rendered

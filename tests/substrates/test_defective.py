@@ -1,0 +1,62 @@
+"""Tests for the one-round defective refinement."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import erdos_renyi, max_degree, random_regular
+from repro.local import RoundLedger
+from repro.substrates import defective_coloring
+
+
+class TestDefectiveColoring:
+    def test_defect_within_bound_on_menagerie(self, any_graph):
+        result = defective_coloring(any_graph, q=5)
+        if any_graph.number_of_nodes():
+            assert result.measured_defect(any_graph) <= result.defect_bound
+
+    @pytest.mark.parametrize("q", [3, 7, 13, 23])
+    def test_palette_is_q_squared(self, q):
+        g = erdos_renyi(60, 0.15, seed=q)
+        result = defective_coloring(g, q=q)
+        assert result.num_colors == q * q
+        assert max(result.coloring.values()) < q * q
+
+    def test_larger_q_smaller_defect(self):
+        g = random_regular(60, 20, seed=1)
+        small_q = defective_coloring(g, q=5)
+        large_q = defective_coloring(g, q=23)
+        assert large_q.defect_bound <= small_q.defect_bound
+
+    def test_classes_have_bounded_degree(self):
+        # the whole point: each color class induces a low-degree subgraph
+        g = random_regular(64, 16, seed=2)
+        result = defective_coloring(g, q=7)
+        for members in result.classes().values():
+            sub = g.subgraph(members)
+            assert max_degree(sub) <= result.defect_bound
+
+    def test_one_round(self):
+        g = erdos_renyi(40, 0.2, seed=3)
+        ledger = RoundLedger()
+        defective_coloring(g, q=7, ledger=ledger)
+        assert ledger.total_actual == 1
+
+    def test_composite_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            defective_coloring(nx.path_graph(3), q=9)
+
+    def test_custom_initial_coloring(self):
+        g = nx.cycle_graph(8)
+        initial = {v: v % 2 for v in g.nodes()}
+        result = defective_coloring(g, q=3, initial=initial)
+        assert result.d == 1
+        assert result.measured_defect(g) <= result.defect_bound
+
+    def test_empty(self):
+        result = defective_coloring(nx.Graph(), q=3)
+        assert result.coloring == {}
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 0.2, seed=4)
+        assert defective_coloring(g, q=7).coloring == defective_coloring(g, q=7).coloring

@@ -1,0 +1,102 @@
+"""Tests for the Nash-Williams H-partition ([4])."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import arboricity_bounds, forest_union, planar_grid, random_tree
+from repro.local import RoundLedger
+from repro.substrates import h_partition
+
+
+class TestDefiningProperty:
+    def test_validates_on_menagerie(self, any_graph):
+        hp = h_partition(any_graph)
+        hp.validate()  # raises on violation
+        assert set(hp.index) == set(any_graph.nodes())
+
+    @pytest.mark.parametrize("a", [1, 2, 3])
+    def test_threshold_is_q_times_a(self, a):
+        g = forest_union(60, a, seed=a)
+        hp = h_partition(g, arboricity=a, q=3.0)
+        assert hp.threshold == math.ceil(3.0 * a)
+        hp.validate()
+
+    def test_every_vertex_assigned_positive_level(self):
+        g = planar_grid(6, 6)
+        hp = h_partition(g, arboricity=2)
+        assert all(i >= 1 for i in hp.index.values())
+        assert hp.num_levels >= 1
+
+    def test_sets_partition_vertices(self):
+        g = forest_union(50, 2, seed=7)
+        hp = h_partition(g, arboricity=2)
+        flattened = [v for level in hp.sets() for v in level]
+        assert sorted(flattened) == sorted(g.nodes())
+
+
+class TestLevels:
+    def test_tree_peels_quickly(self):
+        g = random_tree(100, seed=3)
+        hp = h_partition(g, arboricity=1, q=3.0)
+        assert hp.num_levels <= math.log2(100) + 2
+
+    def test_levels_logarithmic(self):
+        g = forest_union(200, 2, seed=9)
+        hp = h_partition(g, arboricity=2, q=3.0)
+        assert hp.num_levels <= 2 * math.log2(200)
+
+    def test_larger_q_fewer_levels(self):
+        g = forest_union(150, 3, seed=4)
+        slow = h_partition(g, arboricity=3, q=2.5)
+        fast = h_partition(g, arboricity=3, q=8.0)
+        assert fast.num_levels <= slow.num_levels
+
+    def test_rounds_equal_levels(self):
+        g = forest_union(80, 2, seed=5)
+        ledger = RoundLedger()
+        hp = h_partition(g, arboricity=2, ledger=ledger)
+        # peeling runs one phase per round; phase 1 happens at initialize
+        assert ledger.total_actual == hp.num_levels - 1
+
+
+class TestOrientation:
+    def test_acyclic_and_bounded(self, any_graph):
+        hp = h_partition(any_graph)
+        if any_graph.number_of_nodes() == 0:
+            return
+        orientation = hp.orientation()
+        assert orientation.is_acyclic()
+        assert orientation.max_out_degree() <= hp.threshold
+
+    def test_cross_edges_point_to_higher_levels(self):
+        g = forest_union(60, 2, seed=6)
+        hp = h_partition(g, arboricity=2)
+        orientation = hp.orientation()
+        for u, v in g.edges():
+            head = orientation.head_of(u, v)
+            tail = u if head == v else v
+            assert hp.index[tail] <= hp.index[head]
+
+
+class TestValidation:
+    def test_q_must_exceed_two(self):
+        with pytest.raises(InvalidParameterError):
+            h_partition(nx.path_graph(3), q=2.0)
+
+    def test_bad_arboricity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            h_partition(nx.path_graph(3), arboricity=0)
+
+    def test_empty_graph(self):
+        hp = h_partition(nx.Graph())
+        assert hp.index == {}
+        assert hp.num_levels == 0
+
+    def test_default_arboricity_uses_degeneracy(self):
+        g = nx.complete_graph(6)
+        hp = h_partition(g)
+        assert hp.threshold >= 3 * arboricity_bounds(g).lower - 3
+        hp.validate()

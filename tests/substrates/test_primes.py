@@ -1,0 +1,43 @@
+"""Tests for the prime utilities behind Linial's construction."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.substrates import is_prime, next_prime
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 11, 13, 97, 101, 7919, 104729])
+    def test_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", [-5, 0, 1, 4, 9, 91, 7917, 104730, 561, 41041])
+    def test_composites_and_carmichael(self, n):
+        assert not is_prime(n)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 - 1)
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 2), (2, 2), (3, 3), (4, 5), (14, 17), (90, 97), (7908, 7919)]
+    )
+    def test_values(self, n, expected):
+        assert next_prime(n) == expected
+
+    def test_agrees_with_sieve(self):
+        sieve = [True] * 1000
+        sieve[0] = sieve[1] = False
+        for i in range(2, 1000):
+            if sieve[i]:
+                for j in range(2 * i, 1000, i):
+                    sieve[j] = False
+        primes = [i for i in range(1000) if sieve[i]]
+        for n in range(2, 900):
+            assert next_prime(n) == next(p for p in primes if p >= n)
+
+    def test_huge_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            next_prime(2**64)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import networkx as nx
+import pytest
+
+from repro import io as repro_io
+from repro.cli import EDGE_ALGORITHMS, main
+from repro.graphs import random_regular
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = random_regular(16, 4, seed=1)
+    path = tmp_path / "g.edges"
+    repro_io.write_edge_list(g, path)
+    return path
+
+
+class TestInfo:
+    def test_prints_parameters(self, graph_file, capsys):
+        assert main(["info", "--graph", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "n          = 16" in out
+        assert "Delta      = 4" in out
+        assert "arboricity" in out
+
+
+class TestColor:
+    @pytest.mark.parametrize("algorithm", ["star4", "vizing", "greedy", "forest"])
+    def test_algorithms_run(self, graph_file, capsys, algorithm):
+        assert main(["color", "--graph", str(graph_file), "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "colors" in out
+
+    def test_writes_output(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "coloring.json"
+        assert (
+            main(
+                [
+                    "color",
+                    "--graph",
+                    str(graph_file),
+                    "--algorithm",
+                    "greedy",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        coloring = repro_io.load_edge_coloring(out_path)
+        graph = repro_io.read_edge_list(graph_file)
+        assert len(coloring) == graph.number_of_edges()
+
+    def test_x_parameter(self, graph_file, capsys):
+        assert (
+            main(["color", "--graph", str(graph_file), "--algorithm", "star", "--x", "2"])
+            == 0
+        )
+
+    def test_all_algorithms_are_wired(self, graph_file, capsys):
+        for algorithm in EDGE_ALGORITHMS:
+            assert (
+                main(["color", "--graph", str(graph_file), "--algorithm", algorithm])
+                == 0
+            ), algorithm
+
+
+class TestFigures:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-1-clique-connector" in out
+        assert "OK" in out

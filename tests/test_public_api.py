@@ -1,0 +1,34 @@
+"""Tests for the top-level lazy API surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_headline_algorithms_reachable(self):
+        from repro.graphs import random_regular
+
+        g = random_regular(12, 4, seed=1)
+        result = repro.four_delta_edge_coloring(g)
+        repro.verify_edge_coloring(g, result.coloring)
+
+    def test_every_lazy_name_resolves(self):
+        for name in repro._LAZY_EXPORTS:
+            assert getattr(repro, name) is not None
+
+    def test_dir_lists_lazy_names(self):
+        listing = dir(repro)
+        assert "cd_coloring" in listing
+        assert "ColoringOracle" in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_error_hierarchy_exported(self):
+        assert issubclass(repro.ColoringError, repro.ReproError)
+        assert issubclass(repro.RoundLimitExceeded, repro.SimulationError)

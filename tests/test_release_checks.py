@@ -1,0 +1,89 @@
+"""Release-level checks: CLI campaign flow, report sections, packaging
+consistency, and cross-module documentation invariants."""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.campaign import save_campaign
+from repro.analysis.metrics import ExperimentRecord
+from repro.cli import main
+
+
+class TestCampaignCli:
+    @pytest.fixture
+    def tiny_grid(self, monkeypatch):
+        records = [
+            ExperimentRecord(
+                experiment="t", workload="w", n=4, m=4, delta=2,
+                params={"x": 1}, colors_used=3, colors_bound=8, rounds_actual=5.0,
+            )
+        ]
+        monkeypatch.setattr(
+            "repro.analysis.campaign.default_grid", lambda: records
+        )
+        return records
+
+    def test_run_then_check_clean(self, tiny_grid, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        assert main(["campaign", "run", "--out", str(out)]) == 0
+        assert main(["campaign", "check", "--baseline", str(out)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_flags_regression(self, tiny_grid, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        baseline = [
+            ExperimentRecord(
+                experiment="t", workload="w", n=4, m=4, delta=2,
+                params={"x": 1}, colors_used=1, colors_bound=8, rounds_actual=5.0,
+            )
+        ]
+        save_campaign(baseline, out)
+        assert main(["campaign", "check", "--baseline", str(out)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_run_requires_out(self, tiny_grid):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run"])
+
+
+class TestReportSections:
+    def test_scaling_section_matches_paper_exponents(self):
+        from repro.analysis.experiments import _scaling_section
+
+        section = _scaling_section()
+        # the fitted exponents are printed next to the paper's values; for
+        # the closed-form models they must agree to three decimals
+        assert "| 1 | 0.250 | 0.250 | 0.333 | 0.333 |" in section
+        assert "| 3 | 0.125 | 0.125 | 0.200 | 0.200 |" in section
+
+
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestPackagingConsistency:
+    def test_version_matches_setup(self):
+        setup_text = (REPO_ROOT / "setup.py").read_text(encoding="utf-8")
+        assert f'version="{repro.__version__}"' in setup_text
+
+    def test_design_doc_references_real_modules(self):
+        import importlib
+        import re
+
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for match in set(re.findall(r"`repro/([a-z_]+)/", design)):
+            importlib.import_module(f"repro.{match}")
+
+    def test_readme_mentions_all_examples(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for script in (REPO_ROOT / "examples").glob("*.py"):
+            assert script.name in readme, f"README missing {script.name}"
+
+    def test_experiments_md_is_fresh_format(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert "# EXPERIMENTS — paper vs. measured" in text
+        assert "Scaling shapes" in text
+        assert "Ablations" in text
