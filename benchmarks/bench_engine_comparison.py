@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Benchmark: reference vs. vector engine wall-clock on a scaling sweep.
+
+Two tiers:
+
+* **Engine tier** — the Appendix-B basic color reduction on line graphs of
+  random regular graphs, the round loop that dominates every oracle
+  invocation in the library. Each round only one color class acts, which is
+  exactly the shape the vector engine's event-driven stepping exploits: the
+  reference engine pays O(n) per round, the vector engine O(active +
+  messages). The sweep grows the line graph; the speedup grows with it.
+* **Pipeline tier** — full registry algorithms (``star4``, ``thm52``) end
+  to end under ``use_engine``, where graph construction and polynomial
+  arithmetic (engine-independent) dilute the win; reported for honesty.
+
+Writes ``BENCH_engines.json`` and exits nonzero if the vector engine is not
+at least ``--require-speedup`` (default 3.0) times faster than the
+reference engine on the largest engine-tier graph.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine_comparison.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro import registry
+from repro.engine import get_engine, use_engine
+from repro.graphs import line_graph_with_cover, random_regular, star_forest_stack
+from repro.substrates.linial import linial_coloring
+from repro.substrates.reduction import BasicReductionAlgorithm
+
+# (n, d) ladder for the engine tier; the line graph of the last entry is
+# the "largest graph" the speedup gate applies to.
+ENGINE_SWEEP = ((60, 6), (120, 8), (200, 10), (280, 12))
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def engine_tier(repeats: int) -> List[Dict[str, Any]]:
+    rows = []
+    for n, d in ENGINE_SWEEP:
+        line, _ = line_graph_with_cover(random_regular(n, d, seed=7))
+        initial = linial_coloring(line)
+        delta = max(dd for _, dd in line.degree())
+        extras = {
+            "coloring": initial,
+            "m": max(initial.values()) + 1,
+            "target": 2 * delta + 1,
+        }
+        reference = get_engine("reference")
+        vector = get_engine("vector")
+        algorithm = BasicReductionAlgorithm()
+        ref_result = reference.run(line, algorithm, extras=extras)
+        vec_result = vector.run(line, algorithm, extras=extras)
+        assert vec_result.outputs == ref_result.outputs, "engine parity violated"
+        assert vec_result.rounds == ref_result.rounds
+        ref_s = _best_of(repeats, lambda: reference.run(line, algorithm, extras=extras))
+        vec_s = _best_of(repeats, lambda: vector.run(line, algorithm, extras=extras))
+        rows.append(
+            {
+                "tier": "engine",
+                "workload": f"basic-reduction on L(G(n={n}, d={d}))",
+                "n": line.number_of_nodes(),
+                "m": line.number_of_edges(),
+                "rounds": ref_result.rounds,
+                "reference_s": ref_s,
+                "vector_s": vec_s,
+                "speedup": ref_s / vec_s,
+            }
+        )
+        print(
+            f"engine   {rows[-1]['workload']:<42} n={rows[-1]['n']:<5} "
+            f"ref {ref_s:.3f}s vec {vec_s:.3f}s -> {rows[-1]['speedup']:.2f}x"
+        )
+    return rows
+
+
+def pipeline_tier(repeats: int) -> List[Dict[str, Any]]:
+    cases = [
+        ("star4", random_regular(160, 12, seed=5), {}),
+        ("thm52", star_forest_stack(8, 60, 3, seed=13), {"arboricity": 3}),
+    ]
+    rows = []
+    for name, graph, params in cases:
+        def run_with(engine: str) -> None:
+            with use_engine(engine):
+                registry.run(name, graph, **params)
+
+        ref_s = _best_of(repeats, lambda: run_with("reference"))
+        vec_s = _best_of(repeats, lambda: run_with("vector"))
+        rows.append(
+            {
+                "tier": "pipeline",
+                "workload": f"{name} (full pipeline)",
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+                "reference_s": ref_s,
+                "vector_s": vec_s,
+                "speedup": ref_s / vec_s,
+            }
+        )
+        print(
+            f"pipeline {rows[-1]['workload']:<42} n={rows[-1]['n']:<5} "
+            f"ref {ref_s:.3f}s vec {vec_s:.3f}s -> {rows[-1]['speedup']:.2f}x"
+        )
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_engines.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=3.0,
+        help="minimum vector-engine speedup on the largest engine-tier graph",
+    )
+    args = parser.parse_args(argv)
+
+    rows = engine_tier(args.repeats) + pipeline_tier(args.repeats)
+    largest = max(
+        (r for r in rows if r["tier"] == "engine"), key=lambda r: r["n"]
+    )
+    payload = {
+        "benchmark": "engine-comparison",
+        "engine_sweep": [{"n": n, "d": d} for n, d in ENGINE_SWEEP],
+        "largest_graph_speedup": largest["speedup"],
+        "required_speedup": args.require_speedup,
+        "rows": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"wrote {args.out}")
+    print(
+        f"largest engine-tier graph (n={largest['n']}): "
+        f"{largest['speedup']:.2f}x (required {args.require_speedup:.1f}x)"
+    )
+    if largest["speedup"] < args.require_speedup:
+        print("FAIL: vector engine below required speedup", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,69 +4,82 @@ LOCAL complexity counts rounds, but deployments also care about message
 volume and width. Each benchmark runs one substrate on a shared workload
 with bandwidth tracking and records total messages, the peak per-round
 volume, and the widest payload (CONGEST-compatibility) in extra_info.
+
+Parametrized over both execution engines: message counts and widths are
+part of the engine-parity contract, so the recorded profiles must be
+engine-independent (and the benchmark shows the engines' relative cost on
+a message-heavy workload).
 """
 
 import pytest
 
+from repro.engine import get_engine
 from repro.graphs import random_regular
-from repro.local import Network, is_congest_width
+from repro.local import is_congest_width
 from repro.substrates.linial import LinialAlgorithm
 from repro.substrates.reduction import BasicReductionAlgorithm
+
+ENGINES = ("reference", "vector")
 
 
 def workload():
     return random_regular(64, 8, seed=41)
 
 
-def test_linial_messages(benchmark, record_info):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_linial_messages(benchmark, record_info, engine):
     graph = workload()
-    net = Network(graph)
     initial = {v: i * 64 for i, v in enumerate(sorted(graph.nodes()))}
-    ctx = net.make_context(initial_coloring=initial, m0=max(initial.values()) + 1)
+    extras = {"initial_coloring": initial, "m0": max(initial.values()) + 1}
+    eng = get_engine(engine)
 
     def run():
-        return net.run(LinialAlgorithm(), ctx, track_bandwidth=True)
+        return eng.run(graph, LinialAlgorithm(), extras=extras, track_bandwidth=True)
 
     result = benchmark(run)
     record_info(
         benchmark,
         {
             "experiment": "messages-linial",
+            "engine": engine,
             "rounds": result.rounds,
             "messages": result.messages,
             "peak_round_messages": result.peak_round_messages,
             "max_message_bits": result.max_message_bits,
-            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+            "congest_ok": is_congest_width(result.max_message_bits, len(graph)),
         },
     )
-    assert is_congest_width(result.max_message_bits, net.n)
+    assert is_congest_width(result.max_message_bits, len(graph))
 
 
-def test_basic_reduction_messages(benchmark, record_info):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_basic_reduction_messages(benchmark, record_info, engine):
     graph = workload()
-    net = Network(graph)
     coloring = {v: 3 * i for i, v in enumerate(sorted(graph.nodes()))}
-    ctx = net.make_context(
-        coloring=coloring, m=max(coloring.values()) + 1, target=9
-    )
+    extras = {"coloring": coloring, "m": max(coloring.values()) + 1, "target": 9}
+    eng = get_engine(engine)
 
     def run():
-        return net.run(BasicReductionAlgorithm(), ctx, track_bandwidth=True)
+        return eng.run(
+            graph, BasicReductionAlgorithm(), extras=extras, track_bandwidth=True
+        )
 
     result = benchmark(run)
     record_info(
         benchmark,
         {
             "experiment": "messages-basic-reduction",
+            "engine": engine,
             "rounds": result.rounds,
             "messages": result.messages,
             "max_message_bits": result.max_message_bits,
-            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+            "congest_ok": is_congest_width(result.max_message_bits, len(graph)),
         },
     )
 
 
-def test_merge_messages(benchmark, record_info):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_merge_messages(benchmark, record_info, engine):
     """The Lemma 5.1 merge ships used-color sets — wider than CONGEST."""
     import networkx as nx
 
@@ -79,20 +92,21 @@ def test_merge_messages(benchmark, record_info):
         a: {i: b for i, b in enumerate(sorted(graph.neighbors(a)), start=1)}
         for a in left
     }
-    net = Network(graph)
-    ctx = net.make_context(side=side, labels=labels, used={}, palette=15, d=8)
+    extras = {"side": side, "labels": labels, "used": {}, "palette": 15, "d": 8}
+    eng = get_engine(engine)
 
     def run():
-        return net.run(CrossMergeAlgorithm(), ctx, track_bandwidth=True)
+        return eng.run(graph, CrossMergeAlgorithm(), extras=extras, track_bandwidth=True)
 
     result = benchmark(run)
     record_info(
         benchmark,
         {
             "experiment": "messages-merge",
+            "engine": engine,
             "rounds": result.rounds,
             "messages": result.messages,
             "max_message_bits": result.max_message_bits,
-            "congest_ok": is_congest_width(result.max_message_bits, net.n),
+            "congest_ok": is_congest_width(result.max_message_bits, len(graph)),
         },
     )

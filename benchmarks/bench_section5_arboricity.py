@@ -1,21 +1,15 @@
 """Benchmark: Section 5 — (Delta + o(Delta))-edge-coloring of bounded
 arboricity graphs (Theorems 5.2, 5.3, 5.4 and Corollary 5.5), with the
-Vizing / greedy / degree-splitting baselines."""
+Vizing / greedy / degree-splitting baselines.
+
+Every algorithm resolves through the unified registry, so this file is a
+pure harness: names in, structured results out.
+"""
 
 import pytest
 
+from repro import registry
 from repro.analysis import verify_edge_coloring
-from repro.baselines import (
-    degree_splitting_edge_coloring,
-    greedy_edge_coloring,
-    misra_gries_edge_coloring,
-)
-from repro.core import (
-    edge_color_bounded_arboricity,
-    edge_color_delta_plus_o_delta,
-    edge_color_orientation_connector,
-    edge_color_recursive,
-)
 from repro.graphs import max_degree, star_forest_stack
 
 ARBS = (2, 3)
@@ -25,20 +19,25 @@ def workload(a):
     return star_forest_stack(n_centers=6, leaves_per_center=20, a=a, seed=13)
 
 
+def _overhead(run):
+    delta = run.extra.get("delta") or 1
+    return (run.colors_used - delta) / delta
+
+
 @pytest.mark.parametrize("a", ARBS)
 def test_theorem_5_2(benchmark, record_info, a):
     graph = workload(a)
-    result = benchmark(lambda: edge_color_bounded_arboricity(graph, arboricity=a))
-    verify_edge_coloring(graph, result.coloring, palette=result.palette_bound)
+    result = benchmark(lambda: registry.run("thm52", graph, arboricity=a))
+    verify_edge_coloring(graph, result.coloring, palette=result.extra["palette_bound"])
     record_info(
         benchmark,
         {
             "experiment": "thm5.2",
             "a": a,
-            "delta": result.delta,
+            "delta": result.extra["delta"],
             "colors_used": result.colors_used,
-            "colors_bound": result.palette_bound,
-            "overhead_over_delta": result.overhead_over_delta,
+            "colors_bound": result.extra["palette_bound"],
+            "overhead_over_delta": _overhead(result),
             "rounds_actual": result.rounds_actual,
             "rounds_modeled": result.rounds_modeled,
         },
@@ -48,16 +47,16 @@ def test_theorem_5_2(benchmark, record_info, a):
 @pytest.mark.parametrize("a", ARBS)
 def test_theorem_5_3(benchmark, record_info, a):
     graph = workload(a)
-    result = benchmark(lambda: edge_color_orientation_connector(graph, arboricity=a))
-    verify_edge_coloring(graph, result.coloring, palette=result.palette_bound)
+    result = benchmark(lambda: registry.run("thm53", graph, arboricity=a))
+    verify_edge_coloring(graph, result.coloring, palette=result.extra["palette_bound"])
     record_info(
         benchmark,
         {
             "experiment": "thm5.3",
             "a": a,
-            "delta": result.delta,
+            "delta": result.extra["delta"],
             "colors_used": result.colors_used,
-            "colors_bound": result.palette_bound,
+            "colors_bound": result.extra["palette_bound"],
             "rounds_actual": result.rounds_actual,
             "rounds_modeled": result.rounds_modeled,
         },
@@ -67,16 +66,16 @@ def test_theorem_5_3(benchmark, record_info, a):
 @pytest.mark.parametrize("x", (1, 2))
 def test_theorem_5_4(benchmark, record_info, x):
     graph = workload(2)
-    result = benchmark(lambda: edge_color_recursive(graph, x=x, arboricity=2))
-    verify_edge_coloring(graph, result.coloring, palette=result.palette_bound)
+    result = benchmark(lambda: registry.run("thm54", graph, x=x, arboricity=2))
+    verify_edge_coloring(graph, result.coloring, palette=result.extra["palette_bound"])
     record_info(
         benchmark,
         {
             "experiment": "thm5.4",
             "x": x,
-            "delta": result.delta,
+            "delta": result.extra["delta"],
             "colors_used": result.colors_used,
-            "colors_bound": result.palette_bound,
+            "colors_bound": result.extra["palette_bound"],
             "rounds_actual": result.rounds_actual,
         },
     )
@@ -84,38 +83,30 @@ def test_theorem_5_4(benchmark, record_info, x):
 
 def test_corollary_5_5(benchmark, record_info):
     graph = workload(2)
-    result = benchmark(lambda: edge_color_delta_plus_o_delta(graph, arboricity=2))
+    result = benchmark(lambda: registry.run("cor55", graph, arboricity=2))
     verify_edge_coloring(graph, result.coloring)
     record_info(
         benchmark,
         {
             "experiment": "cor5.5",
-            "x": result.params.x,
-            "delta": result.delta,
+            "delta": result.extra["delta"],
             "colors_used": result.colors_used,
-            "overhead_over_delta": result.overhead_over_delta,
+            "overhead_over_delta": _overhead(result),
             "rounds_actual": result.rounds_actual,
         },
     )
 
 
-@pytest.mark.parametrize(
-    "name,run",
-    [
-        ("vizing", lambda g: misra_gries_edge_coloring(g)),
-        ("greedy", lambda g: greedy_edge_coloring(g)),
-        ("degree-splitting", lambda g: degree_splitting_edge_coloring(g).coloring),
-    ],
-)
-def test_section5_baselines(benchmark, record_info, name, run):
+@pytest.mark.parametrize("name", ("vizing", "greedy", "split"))
+def test_section5_baselines(benchmark, record_info, name):
     graph = workload(2)
-    coloring = benchmark(lambda: run(graph))
-    verify_edge_coloring(graph, coloring)
+    result = benchmark(lambda: registry.run(name, graph))
+    verify_edge_coloring(graph, result.coloring)
     record_info(
         benchmark,
         {
             "experiment": f"section5-baseline-{name}",
             "delta": max_degree(graph),
-            "colors_used": len(set(coloring.values())),
+            "colors_used": result.colors_used,
         },
     )

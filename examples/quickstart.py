@@ -55,6 +55,23 @@ def main() -> None:
         f"greedy(2Delta-1)={len(set(greedy.values()))}"
     )
 
+    # --- The registry + engine route (what the CLI does) -------------------
+    # Any registered algorithm by name, every simulated round on the fast
+    # vector engine; identical results to the reference engine, enforced by
+    # the engine-parity suite. CLI equivalent:
+    #   python -m repro run --workload random-regular --workload-param n=60 \
+    #       --workload-param d=12 --algorithm star4 --engine vector
+    from repro import registry
+    from repro.engine import use_engine
+
+    with use_engine("vector"):
+        fast = registry.run("star4", graph)
+    assert fast.coloring == result.coloring
+    print(
+        f"registry + vector engine: star4 -> {fast.colors_used} colors "
+        f"(identical to the reference run)"
+    )
+
 
 if __name__ == "__main__":
     main()

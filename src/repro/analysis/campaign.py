@@ -1,23 +1,37 @@
-"""Experiment campaigns: persist reproduction runs and diff them.
+"""Experiment campaigns: persist reproduction runs, diff them, and fan
+high-throughput grids across a process pool.
 
-A *campaign* is the full experiment grid (Tables 1-2, Section 5, Figures)
-serialized to JSON with enough metadata to re-run it bit-for-bit. The
-comparator flags regressions between two campaigns — colors exceeding a
-stored run, bound violations appearing, round blowups — so refactors of the
-algorithms can be validated against a frozen baseline:
+Two layers:
 
-    python -m repro campaign run --out baseline.json
-    ... hack on the library ...
-    python -m repro campaign check --baseline baseline.json
+* The *record* campaign (original): the full experiment grid (Tables 1-2,
+  Section 5, Figures) serialized to JSON with enough metadata to re-run it
+  bit-for-bit, plus a regression comparator::
+
+      python -m repro campaign run --out baseline.json
+      ... hack on the library ...
+      python -m repro campaign check --baseline baseline.json
+
+* The *cell* campaign (:class:`CampaignRunner`): every cell is one
+  ``(algorithm x workload x seed)`` triple resolved through
+  :mod:`repro.registry`, executed under a per-cell engine choice (see
+  :mod:`repro.engine`) and fanned across ``--jobs`` worker processes.
+  Results are structured JSON rows — wall-clock, colors, rounds, messages
+  — that tables and plots consume uniformly::
+
+      python -m repro campaign cells --engine vector --jobs 8 --out cells.json
 """
 
 from __future__ import annotations
 
 import json
 import platform
-from dataclasses import dataclass
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import networkx as nx
 
 from repro.analysis.metrics import ExperimentRecord
 from repro.errors import InvalidParameterError
@@ -25,6 +39,7 @@ from repro.errors import InvalidParameterError
 PathLike = Union[str, Path]
 
 CAMPAIGN_FORMAT = 1
+CELL_CAMPAIGN_FORMAT = 2
 
 
 def default_grid() -> List[ExperimentRecord]:
@@ -132,3 +147,246 @@ def compare_campaigns(
                 Regression(key, "rounds_actual", old_rounds, record.rounds_actual)
             )
     return regressions
+
+
+# --------------------------------------------------------------------------
+# Cell campaigns: (algorithm x workload x seed) through the registry
+# --------------------------------------------------------------------------
+
+#: Named graph workloads a campaign cell can reference. Every factory takes
+#: keyword parameters plus ``seed`` (ignored by deterministic topologies), so
+#: cells stay picklable descriptions instead of carrying graph objects into
+#: worker processes.
+WORKLOADS: Dict[str, Callable[..., nx.Graph]] = {}
+
+_BUILTINS_LOADED = False
+
+
+def register_workload(name: str, factory: Callable[..., nx.Graph]) -> None:
+    WORKLOADS[name] = factory
+
+
+def _builtin_workloads() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.graphs import (
+        erdos_renyi,
+        hypercube,
+        line_graph_with_cover,
+        planar_grid,
+        random_regular,
+        random_tree,
+        star_forest_stack,
+        torus,
+    )
+
+    register_workload(
+        "random-regular", lambda n=64, d=8, seed=0: random_regular(n, d, seed=seed)
+    )
+    register_workload(
+        "erdos-renyi", lambda n=64, p=0.1, seed=0: erdos_renyi(n, p, seed=seed)
+    )
+    register_workload(
+        "random-tree", lambda n=64, seed=0: random_tree(n, seed=seed)
+    )
+    register_workload(
+        "star-forest-stack",
+        lambda n_centers=6, leaves_per_center=24, a=2, seed=0: star_forest_stack(
+            n_centers, leaves_per_center, a, seed=seed
+        ),
+    )
+    register_workload("planar-grid", lambda rows=8, cols=8, seed=0: planar_grid(rows, cols))
+    register_workload("torus", lambda rows=8, cols=8, seed=0: torus(rows, cols))
+    register_workload("hypercube", lambda dim=6, seed=0: hypercube(dim))
+    register_workload(
+        "line-of-regular",
+        lambda n=48, d=8, seed=0: line_graph_with_cover(random_regular(n, d, seed=seed))[0],
+    )
+
+
+def workload_names() -> List[str]:
+    _builtin_workloads()
+    return sorted(WORKLOADS)
+
+
+def build_workload(name: str, params: Mapping[str, Any], seed: int = 0) -> nx.Graph:
+    """Instantiate workload ``name`` with ``params`` and ``seed``."""
+    _builtin_workloads()
+    factory = WORKLOADS.get(name)
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        )
+    try:
+        return factory(seed=seed, **dict(params))
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"workload {name!r} rejected parameters {dict(params)!r}: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One schedulable unit: algorithm x workload x seed, plus overrides.
+
+    ``engine`` selects the execution engine for this cell alone; ``None``
+    defers to the runner-wide choice. The whole cell is a plain picklable
+    description so process-pool workers rebuild everything locally.
+    """
+
+    algorithm: str
+    workload: str
+    workload_params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    algo_params: Mapping[str, Any] = field(default_factory=dict)
+    engine: Optional[str] = None
+
+    def key(self) -> str:
+        wp = ",".join(f"{k}={v}" for k, v in sorted(self.workload_params.items()))
+        ap = ",".join(f"{k}={v}" for k, v in sorted(self.algo_params.items()))
+        return f"{self.algorithm}|{self.workload}({wp})|seed={self.seed}|{ap}"
+
+
+def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: build the graph, run through the registry under
+    the requested engine, verify, and report one structured row. Errors are
+    isolated per cell — a failing cell never takes the campaign down."""
+    from repro import registry
+    from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
+
+    row: Dict[str, Any] = {
+        "algorithm": payload["algorithm"],
+        "workload": payload["workload"],
+        "workload_params": dict(payload["workload_params"]),
+        "seed": payload["seed"],
+        "algo_params": dict(payload["algo_params"]),
+        "engine": payload["engine"],
+    }
+    try:
+        graph = build_workload(
+            payload["workload"], payload["workload_params"], seed=payload["seed"]
+        )
+        started = time.perf_counter()
+        run = registry.run(
+            payload["algorithm"],
+            graph,
+            engine=payload["engine"],
+            **payload["algo_params"],
+        )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        if payload.get("verify", True):
+            if run.kind == "edge-coloring":
+                verify_edge_coloring(graph, run.coloring)
+            elif run.kind == "vertex-coloring":
+                verify_vertex_coloring(graph, run.coloring)
+        row.update(
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            kind=run.kind,
+            colors_used=run.colors_used,
+            rounds_actual=run.rounds_actual,
+            rounds_modeled=run.rounds_modeled,
+            wall_ms=wall_ms,
+            extra=run.extra,
+            error=None,
+        )
+    except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
+        row.update(error=f"{type(exc).__name__}: {exc}")
+    return row
+
+
+class CampaignRunner:
+    """Fan registered (algorithm x workload x seed) cells across a process
+    pool with per-cell engine selection.
+
+    ``engine`` is the default for cells that do not pin one; ``jobs`` is
+    the worker-process count (1 = run inline, no pool). Results come back
+    in cell order regardless of completion order.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[CampaignCell],
+        engine: Optional[str] = None,
+        jobs: int = 1,
+        verify: bool = True,
+    ):
+        if jobs < 1:
+            raise InvalidParameterError("jobs must be >= 1")
+        self.cells = list(cells)
+        self.engine = engine
+        self.jobs = jobs
+        self.verify = verify
+
+    def _payloads(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "algorithm": cell.algorithm,
+                "workload": cell.workload,
+                "workload_params": dict(cell.workload_params),
+                "seed": cell.seed,
+                "algo_params": dict(cell.algo_params),
+                "engine": cell.engine or self.engine,
+                "verify": self.verify,
+            }
+            for cell in self.cells
+        ]
+
+    def run(self) -> List[Dict[str, Any]]:
+        payloads = self._payloads()
+        if self.jobs == 1 or len(payloads) <= 1:
+            return [_execute_cell(p) for p in payloads]
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_cell, payloads))
+
+
+def default_cells(
+    seeds: Sequence[int] = (0, 1),
+    engine: Optional[str] = None,
+) -> List[CampaignCell]:
+    """A compact high-throughput grid: the paper's algorithms and the
+    executable baselines across three workload families."""
+    algorithms = ("star4", "star", "thm52", "cor55", "forest", "greedy", "vizing")
+    grids = (
+        ("random-regular", {"n": 48, "d": 8}),
+        ("star-forest-stack", {"n_centers": 6, "leaves_per_center": 18, "a": 2}),
+        ("erdos-renyi", {"n": 48, "p": 0.15}),
+    )
+    cells: List[CampaignCell] = []
+    for algorithm in algorithms:
+        for workload, params in grids:
+            for seed in seeds:
+                cells.append(
+                    CampaignCell(
+                        algorithm=algorithm,
+                        workload=workload,
+                        workload_params=params,
+                        seed=seed,
+                        engine=engine,
+                    )
+                )
+    return cells
+
+
+def save_cell_results(results: Sequence[Dict[str, Any]], path: PathLike) -> None:
+    payload = {
+        "format": CELL_CAMPAIGN_FORMAT,
+        "library_version": _library_version(),
+        "python": platform.python_version(),
+        "results": list(results),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_cell_results(path: PathLike) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CELL_CAMPAIGN_FORMAT:
+        raise InvalidParameterError(
+            f"{path}: unsupported cell campaign format {payload.get('format')!r}"
+        )
+    return payload["results"]

@@ -121,3 +121,34 @@ def degree_splitting_edge_coloring(
         levels=levels,
         ledger=own,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_split(graph: nx.Graph, threshold: int = 8) -> _registry.AlgorithmRun:
+    result = degree_splitting_edge_coloring(graph, threshold=threshold)
+    return _registry.AlgorithmRun(
+        name="split",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_modeled=result.rounds_modeled,
+        extra={"levels": result.levels, "delta": result.delta},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="split",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Recursive Euler degree splitting ([20, 25] regime)",
+        color_bound="2*Delta * (1 + O(levels*threshold/Delta))",
+        rounds_bound="modeled only (Euler splits are global)",
+        runner=_run_split,
+        params=("threshold",),
+    )
+)

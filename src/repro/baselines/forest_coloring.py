@@ -110,3 +110,34 @@ def forest_edge_coloring(
         delta=delta,
         ledger=own,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_forest(graph: nx.Graph) -> _registry.AlgorithmRun:
+    result = forest_edge_coloring(graph)
+    return _registry.AlgorithmRun(
+        name="forest",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"num_forests": result.num_forests, "delta": result.delta},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="forest",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Forest decomposition + Cole-Vishkin per forest",
+        color_bound="O(a * Delta)",
+        rounds_bound="O(log* n)",
+        runner=_run_forest,
+    )
+)

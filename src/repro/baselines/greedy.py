@@ -52,3 +52,55 @@ def greedy_edge_coloring(
         incident[u].add(color)
         incident[v].add(color)
     return coloring
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+from repro.types import num_colors as _num_colors
+
+
+def _run_greedy(graph: nx.Graph) -> _registry.AlgorithmRun:
+    coloring = greedy_edge_coloring(graph)
+    return _registry.AlgorithmRun(
+        name="greedy",
+        kind="edge-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+    )
+
+
+def _run_greedy_vertex(graph: nx.Graph) -> _registry.AlgorithmRun:
+    coloring = greedy_vertex_coloring(graph)
+    return _registry.AlgorithmRun(
+        name="greedy-vertex",
+        kind="vertex-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="greedy",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Sequential greedy edge coloring (the 2*Delta-1 folklore bound)",
+        color_bound="2*Delta - 1",
+        rounds_bound="centralized",
+        runner=_run_greedy,
+        distributed=False,
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="greedy-vertex",
+        family="baseline",
+        kind="vertex-coloring",
+        summary="Sequential greedy vertex coloring",
+        color_bound="Delta + 1",
+        rounds_bound="centralized",
+        runner=_run_greedy_vertex,
+        distributed=False,
+    )
+)

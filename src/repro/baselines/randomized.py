@@ -113,3 +113,37 @@ def randomized_edge_coloring(
         palette=palette,
         ledger=own,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_randomized(
+    graph: nx.Graph, palette_factor: float = 2.0, seed: int = 0
+) -> _registry.AlgorithmRun:
+    result = randomized_edge_coloring(graph, palette_factor=palette_factor, seed=seed)
+    return _registry.AlgorithmRun(
+        name="randomized",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=float(result.rounds),
+        rounds_modeled=float(result.rounds),
+        extra={"palette": result.palette, "delta": result.delta, "seed": seed},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="randomized",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Propose-and-keep randomized 2*Delta trial ([14, 16, 22] regime)",
+        color_bound="ceil(palette_factor * Delta)",
+        rounds_bound="O(log m) w.h.p.",
+        runner=_run_randomized,
+        params=("palette_factor", "seed"),
+    )
+)

@@ -148,3 +148,33 @@ def misra_gries_edge_coloring(graph: nx.Graph) -> EdgeColoring:
         if edge_key(u, v) not in state.color:
             raise ColoringError(f"edge ({u!r},{v!r}) left uncolored")
     return dict(state.color)
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+from repro.types import num_colors as _num_colors
+
+
+def _run_vizing(graph: nx.Graph) -> _registry.AlgorithmRun:
+    coloring = misra_gries_edge_coloring(graph)
+    return _registry.AlgorithmRun(
+        name="vizing",
+        kind="edge-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="vizing",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Misra-Gries constructive Vizing: the centralized color-count reference",
+        color_bound="Delta + 1",
+        rounds_bound="centralized",
+        runner=_run_vizing,
+        distributed=False,
+    )
+)

@@ -152,3 +152,60 @@ def weak_edge_coloring(
         levels=result.levels,
         ledger=result.ledger,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_weak(graph: nx.Graph, exponent: float = 0.75) -> _registry.AlgorithmRun:
+    result = weak_edge_coloring(graph, exponent=exponent)
+    return _registry.AlgorithmRun(
+        name="weak",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"levels": result.levels, "delta": result.delta},
+    )
+
+
+def _run_weak_vertex(graph: nx.Graph, exponent: float = 0.75) -> _registry.AlgorithmRun:
+    result = weak_vertex_coloring(graph, exponent=exponent)
+    return _registry.AlgorithmRun(
+        name="weak-vertex",
+        kind="vertex-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"levels": result.levels, "delta": result.delta},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="weak",
+        family="baseline",
+        kind="edge-coloring",
+        summary="Recursive defective partitioning, edge version ([6, 7] regime)",
+        color_bound="Delta^(1+eps)",
+        rounds_bound="O(log* n) per level",
+        runner=_run_weak,
+        params=("exponent",),
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="weak-vertex",
+        family="baseline",
+        kind="vertex-coloring",
+        summary="Recursive defective partitioning, vertex version",
+        color_bound="Delta^(1+eps)",
+        rounds_bound="O(log* n) per level",
+        runner=_run_weak_vertex,
+        params=("exponent",),
+    )
+)

@@ -4,105 +4,61 @@ Subcommands:
 
 * ``info --graph FILE`` — structural parameters (n, m, Delta, arboricity
   bounds, degeneracy) of an edge-list graph.
-* ``color --graph FILE --algorithm NAME [--x N] [--output FILE]`` — run one
-  of the reproduced edge-coloring algorithms (or a baseline) and report
-  colors/rounds; optionally write the coloring as JSON.
-* ``tables`` — print the Table 1 / Table 2 / Section 5 reproduction rows.
-* ``figures`` — print the Figure 1-3 connector bound checks.
-* ``experiments [OUT]`` — regenerate the EXPERIMENTS.md report.
+* ``algorithms`` — the unified algorithm registry: every runnable
+  algorithm with its family, kind, color bound and parameters.
+* ``run`` — run any registered algorithm on a graph file or a named
+  workload; ``--seeds`` + ``--jobs`` fan a seed batch across processes,
+  ``--engine`` picks the execution engine.
+* ``color --graph FILE --algorithm NAME`` — the original edge-coloring
+  front-end (kept for compatibility; now registry-resolved).
+* ``sweep`` — a Delta ladder for one algorithm across random regular
+  graphs, with per-point engine/jobs control.
+* ``campaign`` — ``run``/``check`` persist and diff the table-reproduction
+  record grid; ``cells`` fans the (algorithm x workload x seed) cell grid
+  across a process pool and saves structured JSON.
+* ``tables`` / ``figures`` / ``experiments`` — the paper-reproduction
+  harnesses.
+
+Engine selection (``--engine {reference,vector}``) routes every simulated
+round through :mod:`repro.engine`; ``--jobs N`` parallelizes across worker
+processes wherever the subcommand has more than one unit of work.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import io as repro_io
-from repro.analysis.verify import verify_edge_coloring
+from repro import registry
+from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
+from repro.engine import available_engines, use_engine
 from repro.graphs.properties import arboricity_bounds, degeneracy, max_degree
-from repro.local import RoundLedger
 
-EDGE_ALGORITHMS = (
-    "star4",
-    "star",
-    "cd",
-    "thm52",
-    "thm53",
-    "cor55",
-    "vizing",
-    "greedy",
-    "split",
-    "forest",
-    "weak",
-    "randomized",
-)
+#: Edge-coloring algorithms exposed by ``color`` (registry-resolved; kept
+#: as a module constant for backwards compatibility).
+EDGE_ALGORITHMS = tuple(registry.names(kind="edge-coloring"))
 
 
-def _run_edge_algorithm(graph, name: str, x: int):
-    """Returns (coloring, colors_used, rounds_actual, rounds_modeled)."""
-    ledger = RoundLedger()
-    if name == "star4":
-        from repro.core import four_delta_edge_coloring
+def _algorithm_params(spec: registry.AlgorithmSpec, args: argparse.Namespace) -> Dict[str, Any]:
+    """Map recognized CLI flags onto the parameters the algorithm accepts."""
+    params: Dict[str, Any] = {}
+    if "x" in spec.params and getattr(args, "x", None) is not None:
+        params["x"] = args.x
+    if "arboricity" in spec.params and getattr(args, "arboricity", None) is not None:
+        params["arboricity"] = args.arboricity
+    if "seed" in spec.params and getattr(args, "algo_seed", None) is not None:
+        params["seed"] = args.algo_seed
+    return params
 
-        result = four_delta_edge_coloring(graph, ledger=ledger)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "star":
-        from repro.core import star_partition_edge_coloring
 
-        result = star_partition_edge_coloring(graph, x=x, ledger=ledger)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "cd":
-        from repro.core import cd_edge_coloring
-
-        result = cd_edge_coloring(graph, x=x)
-        return result.coloring, result.colors_used, result.ledger.total_actual, result.ledger.total_modeled
-    if name == "thm52":
-        from repro.core import edge_color_bounded_arboricity
-
-        result = edge_color_bounded_arboricity(graph, ledger=ledger)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "thm53":
-        from repro.core import edge_color_orientation_connector
-
-        result = edge_color_orientation_connector(graph, ledger=ledger)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "cor55":
-        from repro.core import edge_color_delta_plus_o_delta
-
-        result = edge_color_delta_plus_o_delta(graph, ledger=ledger)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "vizing":
-        from repro.baselines import misra_gries_edge_coloring
-
-        coloring = misra_gries_edge_coloring(graph)
-        return coloring, len(set(coloring.values())), None, None
-    if name == "greedy":
-        from repro.baselines import greedy_edge_coloring
-
-        coloring = greedy_edge_coloring(graph)
-        return coloring, len(set(coloring.values())), None, None
-    if name == "split":
-        from repro.baselines import degree_splitting_edge_coloring
-
-        result = degree_splitting_edge_coloring(graph)
-        return result.coloring, result.colors_used, None, result.rounds_modeled
-    if name == "forest":
-        from repro.baselines.forest_coloring import forest_edge_coloring
-
-        result = forest_edge_coloring(graph)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "weak":
-        from repro.baselines import weak_edge_coloring
-
-        result = weak_edge_coloring(graph)
-        return result.coloring, result.colors_used, result.rounds_actual, result.rounds_modeled
-    if name == "randomized":
-        from repro.baselines import randomized_edge_coloring
-
-        result = randomized_edge_coloring(graph)
-        return result.coloring, result.colors_used, float(result.rounds), float(result.rounds)
-    raise SystemExit(f"unknown algorithm {name!r}; choose from {EDGE_ALGORITHMS}")
+def _verify_run(graph, run: registry.AlgorithmRun) -> None:
+    if run.kind == "edge-coloring":
+        verify_edge_coloring(graph, run.coloring)
+    elif run.kind == "vertex-coloring":
+        verify_vertex_coloring(graph, run.coloring)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -116,28 +72,165 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    specs = registry.specs(family=args.family, kind=args.kind)
+    if not specs:
+        print("no algorithms match the filter")
+        return 1
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        params = f" params: {', '.join(spec.params)}" if spec.params else ""
+        requires = f" requires: {', '.join(spec.requires)}" if spec.requires else ""
+        print(
+            f"{spec.name:<{width}}  [{spec.family}/{spec.kind}] "
+            f"{spec.color_bound} colors, {spec.rounds_bound}{params}{requires}"
+        )
+        if args.verbose:
+            print(f"{'':<{width}}  {spec.summary}")
+    return 0
+
+
 def cmd_color(args: argparse.Namespace) -> int:
     graph = repro_io.read_edge_list(args.graph)
-    coloring, used, rounds, modeled = _run_edge_algorithm(graph, args.algorithm, args.x)
-    verify_edge_coloring(graph, coloring)
+    spec = registry.get(args.algorithm)
+    params = _algorithm_params(spec, args)
+    run = registry.run(args.algorithm, graph, engine=args.engine, **params)
+    _verify_run(graph, run)
     delta = max_degree(graph)
     print(f"algorithm      = {args.algorithm}")
     print(f"Delta          = {delta}")
-    print(f"colors         = {used}")
-    if rounds is not None:
-        print(f"rounds         = {rounds:.0f}")
-    if modeled is not None:
-        print(f"rounds modeled = {modeled:.0f}")
+    print(f"colors         = {run.colors_used}")
+    if run.rounds_actual is not None:
+        print(f"rounds         = {run.rounds_actual:.0f}")
+    if run.rounds_modeled is not None:
+        print(f"rounds modeled = {run.rounds_modeled:.0f}")
     if args.output:
-        repro_io.save_edge_coloring(coloring, args.output)
+        repro_io.save_edge_coloring(run.coloring, args.output)
         print(f"wrote {args.output}")
     return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import (
+        CampaignCell,
+        CampaignRunner,
+        build_workload,
+        workload_names,
+    )
+
+    spec = registry.get(args.algorithm)
+    params = _algorithm_params(spec, args)
+
+    if args.graph:
+        graph = repro_io.read_edge_list(args.graph)
+        run = registry.run(args.algorithm, graph, engine=args.engine, **params)
+        _verify_run(graph, run)
+        rows = [
+            {
+                "algorithm": args.algorithm,
+                "workload": args.graph,
+                "seed": None,
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+                "colors_used": run.colors_used,
+                "rounds_actual": run.rounds_actual,
+                "rounds_modeled": run.rounds_modeled,
+                "engine": args.engine,
+                "error": None,
+            }
+        ]
+    else:
+        if args.workload not in workload_names():
+            raise SystemExit(
+                f"unknown workload {args.workload!r}; choose from {workload_names()}"
+            )
+        workload_params = dict(args.workload_param or ())
+        seeds = args.seeds
+        cells = [
+            CampaignCell(
+                algorithm=args.algorithm,
+                workload=args.workload,
+                workload_params=workload_params,
+                seed=seed,
+                algo_params=params,
+            )
+            for seed in seeds
+        ]
+        rows = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
+
+    failures = 0
+    for row in rows:
+        if row["error"]:
+            failures += 1
+            print(f"FAILED seed={row['seed']}: {row['error']}")
+            continue
+        rounds = (
+            f" rounds={row['rounds_actual']:.0f}"
+            if row.get("rounds_actual") is not None
+            else ""
+        )
+        wall = f" wall={row['wall_ms']:.1f}ms" if "wall_ms" in row else ""
+        seed = f" seed={row['seed']}" if row["seed"] is not None else ""
+        print(
+            f"{args.algorithm} on {row['workload']}{seed}: "
+            f"n={row['n']} m={row['m']} colors={row['colors_used']}{rounds}{wall}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=1)
+        print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import CampaignCell, CampaignRunner
+
+    spec = registry.get(args.algorithm)
+    params = _algorithm_params(spec, args)
+    cells = []
+    for delta in args.deltas:
+        nodes = args.n if (args.n * delta) % 2 == 0 else args.n + 1
+        cells.append(
+            CampaignCell(
+                algorithm=args.algorithm,
+                workload="random-regular",
+                workload_params={"n": nodes, "d": delta},
+                seed=args.seed,
+                algo_params=params,
+            )
+        )
+    rows = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
+    print(f"# {args.algorithm} Delta sweep (engine={args.engine or 'default'})")
+    print("| Delta | n | m | colors | rounds | modeled | wall_ms |")
+    print("|---|---|---|---|---|---|---|")
+    failures = 0
+    for delta, row in zip(args.deltas, rows):
+        if row["error"]:
+            failures += 1
+            print(f"| {delta} | FAILED: {row['error']} |")
+            continue
+        actual = (
+            f"{row['rounds_actual']:.0f}" if row.get("rounds_actual") is not None else "—"
+        )
+        modeled = (
+            f"{row['rounds_modeled']:.0f}" if row.get("rounds_modeled") is not None else "—"
+        )
+        print(
+            f"| {delta} | {row['n']} | {row['m']} | {row['colors_used']} "
+            f"| {actual} | {modeled} | {row['wall_ms']:.1f} |"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=1)
+        print(f"wrote {args.out}")
+    return 1 if failures else 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.analysis.tables import main as tables_main
 
-    tables_main()
+    with use_engine(args.engine):
+        tables_main()
     return 0
 
 
@@ -151,58 +244,39 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import main as experiments_main
 
-    experiments_main([args.output] if args.output else [])
+    with use_engine(args.engine):
+        experiments_main([args.output] if args.output else [])
     return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduction of Barenboim-Elkin-Maimon (PODC 2017)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    info = sub.add_parser("info", help="structural parameters of a graph")
-    info.add_argument("--graph", required=True, help="edge-list file")
-    info.set_defaults(func=cmd_info)
-
-    color = sub.add_parser("color", help="edge-color a graph")
-    color.add_argument("--graph", required=True, help="edge-list file")
-    color.add_argument("--algorithm", default="star4", choices=EDGE_ALGORITHMS)
-    color.add_argument("--x", type=int, default=1, help="recursion depth")
-    color.add_argument("--output", help="write the coloring as JSON")
-    color.set_defaults(func=cmd_color)
-
-    tables = sub.add_parser("tables", help="print the table reproductions")
-    tables.set_defaults(func=cmd_tables)
-
-    figures = sub.add_parser("figures", help="print the figure bound checks")
-    figures.set_defaults(func=cmd_figures)
-
-    experiments = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
-    experiments.add_argument("output", nargs="?", help="output path")
-    experiments.set_defaults(func=cmd_experiments)
-
-    campaign = sub.add_parser(
-        "campaign", help="run/compare persisted experiment campaigns"
-    )
-    campaign.add_argument("action", choices=("run", "check"))
-    campaign.add_argument("--out", help="where to save the campaign (run)")
-    campaign.add_argument("--baseline", help="baseline file to compare against (check)")
-    campaign.set_defaults(func=cmd_campaign)
-
-    return parser
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import (
+        CampaignRunner,
         compare_campaigns,
+        default_cells,
         default_grid,
         load_campaign,
         save_campaign,
+        save_cell_results,
     )
 
-    records = default_grid()
+    if args.action == "cells":
+        if not args.out:
+            raise SystemExit("campaign cells requires --out")
+        cells = default_cells()
+        results = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
+        save_cell_results(results, args.out)
+        failed = [r for r in results if r["error"]]
+        print(
+            f"saved {len(results)} cell results to {args.out} "
+            f"({len(failed)} failed)"
+        )
+        for row in failed:
+            print(f"FAILED {row['algorithm']} on {row['workload']}: {row['error']}")
+        return 1 if failed else 0
+
+    with use_engine(args.engine):
+        records = default_grid()
     if args.action == "run":
         if not args.out:
             raise SystemExit("campaign run requires --out")
@@ -219,6 +293,158 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 1
     print(f"no regressions across {len(records)} records")
     return 0
+
+
+class _WorkloadParam(argparse.Action):
+    """Parse repeated ``--workload-param key=value`` pairs (ints when they
+    look like ints, floats when they look like floats)."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        key, _, raw = values.partition("=")
+        if not key or not raw:
+            raise argparse.ArgumentError(self, f"expected key=value, got {values!r}")
+        value: Any = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        existing = list(getattr(namespace, self.dest) or [])
+        existing.append((key, value))
+        setattr(namespace, self.dest, existing)
+
+
+def _int_list(raw: str) -> List[int]:
+    try:
+        values = [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {raw!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    return value
+
+
+def _add_engine_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="execution engine for every simulated round (default: reference; "
+        "vector is the CSR/event-driven engine, identical results, faster at scale)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for multi-cell work (default 1 = inline)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Barenboim-Elkin-Maimon (PODC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="structural parameters of a graph")
+    info.add_argument("--graph", required=True, help="edge-list file")
+    info.set_defaults(func=cmd_info)
+
+    algorithms = sub.add_parser(
+        "algorithms", help="list the unified algorithm registry"
+    )
+    algorithms.add_argument("--family", choices=registry.FAMILIES, default=None)
+    algorithms.add_argument("--kind", choices=registry.KINDS, default=None)
+    algorithms.add_argument("-v", "--verbose", action="store_true")
+    algorithms.set_defaults(func=cmd_algorithms)
+
+    run = sub.add_parser(
+        "run",
+        help="run any registered algorithm on a graph file or named workload",
+    )
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="edge-list file")
+    source.add_argument("--workload", help="named workload generator")
+    run.add_argument(
+        "--workload-param",
+        action=_WorkloadParam,
+        metavar="KEY=VALUE",
+        default=None,
+        help="workload generator parameter (repeatable), e.g. --workload-param n=96",
+    )
+    run.add_argument("--algorithm", required=True, choices=registry.names())
+    run.add_argument("--x", type=int, default=None, help="recursion depth")
+    run.add_argument("--arboricity", type=int, default=None, help="arboricity bound")
+    run.add_argument("--algo-seed", type=int, default=None, help="algorithm RNG seed")
+    run.add_argument(
+        "--seeds",
+        type=_int_list,
+        default=[0],
+        help="comma-separated workload seeds (each is one cell), e.g. 0,1,2,3",
+    )
+    run.add_argument("--out", help="write structured JSON results")
+    _add_engine_jobs(run)
+    run.set_defaults(func=cmd_run)
+
+    color = sub.add_parser("color", help="edge-color a graph")
+    color.add_argument("--graph", required=True, help="edge-list file")
+    color.add_argument("--algorithm", default="star4", choices=EDGE_ALGORITHMS)
+    color.add_argument("--x", type=int, default=1, help="recursion depth")
+    color.add_argument("--output", help="write the coloring as JSON")
+    color.add_argument("--engine", choices=available_engines(), default=None)
+    color.set_defaults(func=cmd_color)
+
+    sweep = sub.add_parser(
+        "sweep", help="Delta ladder for one algorithm on random regular graphs"
+    )
+    sweep.add_argument("--algorithm", default="star", choices=registry.names())
+    sweep.add_argument(
+        "--deltas", type=_int_list, default=[8, 16, 24], help="comma-separated degrees"
+    )
+    sweep.add_argument("--n", type=int, default=80, help="vertices per point")
+    sweep.add_argument("--seed", type=int, default=5, help="workload seed")
+    sweep.add_argument("--x", type=int, default=None, help="recursion depth")
+    sweep.add_argument("--arboricity", type=int, default=None)
+    sweep.add_argument("--out", help="write structured JSON results")
+    _add_engine_jobs(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    tables = sub.add_parser("tables", help="print the table reproductions")
+    tables.add_argument("--engine", choices=available_engines(), default=None)
+    tables.set_defaults(func=cmd_tables)
+
+    figures = sub.add_parser("figures", help="print the figure bound checks")
+    figures.set_defaults(func=cmd_figures)
+
+    experiments = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    experiments.add_argument("output", nargs="?", help="output path")
+    experiments.add_argument("--engine", choices=available_engines(), default=None)
+    experiments.set_defaults(func=cmd_experiments)
+
+    campaign = sub.add_parser(
+        "campaign", help="run/compare persisted experiment campaigns"
+    )
+    campaign.add_argument(
+        "action",
+        choices=("run", "check", "cells"),
+        help="run/check the record grid, or fan the cell grid across --jobs",
+    )
+    campaign.add_argument("--out", help="where to save the campaign (run/cells)")
+    campaign.add_argument("--baseline", help="baseline file to compare against (check)")
+    _add_engine_jobs(campaign)
+    campaign.set_defaults(func=cmd_campaign)
+
+    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:

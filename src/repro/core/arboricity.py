@@ -83,12 +83,20 @@ class CrossMergeAlgorithm(NodeAlgorithm):
                 node.halt()
                 return
             self._send_request(node, 1)
+            # Replies arrive on even rounds; between them (and on every odd
+            # round) the step is a no-op, so only mail or the final halt
+            # round at 2*max(labels) needs a wake-up.
+            node.sleep_until(2 * max(labels))
         else:
             has_cross = any(
                 ctx.extras["side"].get(u) == "A" for u in node.neighbors
             )
             if not has_cross:
                 node.halt()
+            else:
+                # B acts only when requests arrive (odd rounds, with mail)
+                # and finally halts at round 2d - 1.
+                node.sleep_until(2 * ctx.extras["d"] - 1)
 
     def _send_request(self, node: Node, label: int) -> None:
         neighbor = node.state["labels"].get(label)
@@ -539,3 +547,111 @@ def edge_color_delta_plus_o_delta(
         )
     result.params = params
     return result
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _arboricity_run(name: str, result: ArboricityColoringResult) -> _registry.AlgorithmRun:
+    return _registry.AlgorithmRun(
+        name=name,
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={
+            "palette_bound": result.palette_bound,
+            "delta": result.delta,
+            "arboricity": result.arboricity,
+            "dhat": result.dhat,
+        },
+    )
+
+
+def _run_thm52(
+    graph: nx.Graph, arboricity: Optional[int] = None, q: float = 3.0
+) -> _registry.AlgorithmRun:
+    return _arboricity_run(
+        "thm52", edge_color_bounded_arboricity(graph, arboricity=arboricity, q=q)
+    )
+
+
+def _run_thm53(
+    graph: nx.Graph, arboricity: Optional[int] = None, q: float = 3.0
+) -> _registry.AlgorithmRun:
+    return _arboricity_run(
+        "thm53", edge_color_orientation_connector(graph, arboricity=arboricity, q=q)
+    )
+
+
+def _run_thm54(
+    graph: nx.Graph, x: int = 2, arboricity: Optional[int] = None, q: float = 3.0
+) -> _registry.AlgorithmRun:
+    return _arboricity_run(
+        "thm54", edge_color_recursive(graph, x=x, arboricity=arboricity, q=q)
+    )
+
+
+def _run_cor55(
+    graph: nx.Graph, arboricity: Optional[int] = None
+) -> _registry.AlgorithmRun:
+    return _arboricity_run(
+        "cor55", edge_color_delta_plus_o_delta(graph, arboricity=arboricity)
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="thm52",
+        family="core",
+        kind="edge-coloring",
+        summary="Theorem 5.2: H-partition + star partition + level-by-level cross merge",
+        color_bound="Delta + O(a)",
+        rounds_bound="O(a * log n)",
+        runner=_run_thm52,
+        requires=("bounded-arboricity",),
+        params=("arboricity", "q"),
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="thm53",
+        family="core",
+        kind="edge-coloring",
+        summary="Theorem 5.3: Figure 3 orientation connector, recolored with Theorem 5.2",
+        color_bound="Delta + O(sqrt(Delta*a)) + O(a)",
+        rounds_bound="O(sqrt(a) * log n)",
+        runner=_run_thm53,
+        requires=("bounded-arboricity",),
+        params=("arboricity", "q"),
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="thm54",
+        family="core",
+        kind="edge-coloring",
+        summary="Theorem 5.4: x-1 bipartite connector levels over Theorem 5.2",
+        color_bound="(Delta^(1/x) + a_hat^(1/x) + 3)^x",
+        rounds_bound="O(a_hat^(1/x) * (x + log n / log q))",
+        runner=_run_thm54,
+        requires=("bounded-arboricity",),
+        params=("x", "arboricity", "q"),
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="cor55",
+        family="core",
+        kind="edge-coloring",
+        summary="Corollary 5.5: auto-parameterized Delta(1+o(1))-edge-coloring",
+        color_bound="Delta * (1 + o(1)) for a = o(Delta)",
+        rounds_bound="O(log n) for a = O(Delta^(1-eps))",
+        runner=_run_cor55,
+        requires=("bounded-arboricity",),
+        params=("arboricity",),
+    )
+)

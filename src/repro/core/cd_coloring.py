@@ -237,3 +237,35 @@ def cd_edge_coloring(
         x=x,
         ledger=result.ledger,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_cd(graph: nx.Graph, x: int = 1) -> _registry.AlgorithmRun:
+    result = cd_edge_coloring(graph, x=x)
+    return _registry.AlgorithmRun(
+        name="cd",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.ledger.total_actual,
+        rounds_modeled=result.ledger.total_modeled,
+        extra={"target_colors": result.target_colors, "x": x},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="cd",
+        family="core",
+        kind="edge-coloring",
+        summary="Theorem 3.3(ii): CD-Coloring of the line graph (Algorithm 1)",
+        color_bound="2^(x+1) * Delta",
+        rounds_bound="O~(x * Delta^(1/(2x+2)) + log* n)",
+        runner=_run_cd,
+        params=("x",),
+    )
+)

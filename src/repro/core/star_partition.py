@@ -181,3 +181,59 @@ def four_delta_edge_coloring(
     delta = max((d for _, d in graph.degree()), default=0)
     t = max(2, int(math.isqrt(delta))) if delta >= 4 else None
     return star_partition_edge_coloring(graph, x=1, t=t, oracle=oracle, ledger=ledger)
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_star4(graph: nx.Graph) -> _registry.AlgorithmRun:
+    result = four_delta_edge_coloring(graph)
+    return _registry.AlgorithmRun(
+        name="star4",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"target_colors": result.target_colors, "delta": result.delta},
+    )
+
+
+def _run_star(graph: nx.Graph, x: int = 1, t: Optional[int] = None) -> _registry.AlgorithmRun:
+    result = star_partition_edge_coloring(graph, x=x, t=t)
+    return _registry.AlgorithmRun(
+        name="star",
+        kind="edge-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"target_colors": result.target_colors, "x": x},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="star4",
+        family="core",
+        kind="edge-coloring",
+        summary="Section 4 headline: star-partition edge coloring at x=1, t=floor(sqrt(Delta))",
+        color_bound="4*Delta",
+        rounds_bound="O~(Delta^(1/4) + log* n)",
+        runner=_run_star4,
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="star",
+        family="core",
+        kind="edge-coloring",
+        summary="Theorem 4.1: recursive star-partition edge coloring",
+        color_bound="2^(x+1) * Delta",
+        rounds_bound="O~(x * Delta^(1/(2x+2)) + log* n)",
+        runner=_run_star,
+        params=("x", "t"),
+    )
+)

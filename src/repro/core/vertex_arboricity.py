@@ -117,3 +117,38 @@ def vertex_color_bounded_arboricity(
         levels=hp.num_levels,
         ledger=own,
     )
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_vertex_arboricity(
+    graph: nx.Graph, arboricity: Optional[int] = None, q: float = 3.0
+) -> _registry.AlgorithmRun:
+    result = vertex_color_bounded_arboricity(graph, arboricity=arboricity, q=q)
+    return _registry.AlgorithmRun(
+        name="vertex-arboricity",
+        kind="vertex-coloring",
+        coloring=result.coloring,
+        colors_used=result.colors_used,
+        rounds_actual=result.rounds_actual,
+        rounds_modeled=result.rounds_modeled,
+        extra={"dhat": result.dhat, "levels": result.levels, "delta": result.delta},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="vertex-arboricity",
+        family="core",
+        kind="vertex-coloring",
+        summary="Related-work boundary [6]: (Delta+1)-vertex-coloring of bounded-arboricity graphs",
+        color_bound="Delta + 1",
+        rounds_bound="O((sqrt(d_hat) + d_hat) * log n)",
+        runner=_run_vertex_arboricity,
+        requires=("bounded-arboricity",),
+        params=("arboricity", "q"),
+    )
+)

@@ -1,0 +1,148 @@
+"""Execution-engine interface and engine selection.
+
+An :class:`Engine` turns ``(graph, NodeAlgorithm)`` into a
+:class:`~repro.local.network.RunResult`. Two implementations ship with the
+library:
+
+* ``reference`` — :class:`~repro.engine.reference.ReferenceEngine`, a thin
+  wrapper around :class:`~repro.local.network.Network` that preserves the
+  original scheduler bit for bit (including tracer and crash support).
+* ``vector`` — :class:`~repro.engine.vector.VectorEngine`, a CSR-backed
+  scheduler with batched inbox delivery and an event-driven fast path for
+  algorithms that publish :meth:`~repro.local.node.Node.sleep_until` hints.
+
+Engine selection is dynamically scoped: :func:`use_engine` installs an
+engine for a ``with`` block (thread/process local via ``contextvars``), and
+every :func:`~repro.local.network.run_on_graph` call inside the block — no
+matter how deep in the algorithm stack — routes through it. This is how the
+CLI and the campaign runner switch whole pipelines between engines without
+threading an argument through every theorem.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    import networkx as nx
+
+    from repro.local.algorithm import NodeAlgorithm
+    from repro.local.network import RunResult
+    from repro.local.trace import Tracer
+    from repro.types import NodeId
+
+DEFAULT_ENGINE = "reference"
+
+
+class Engine(ABC):
+    """Drives a :class:`~repro.local.algorithm.NodeAlgorithm` to completion.
+
+    Implementations must reproduce the LOCAL-model contract of
+    :meth:`repro.local.network.Network.run` exactly: same outputs, same
+    round count, same per-round message profile. The engine-parity test
+    suite (``tests/engine/test_parity.py``) holds every implementation to
+    that contract across the full algorithm registry.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: "nx.Graph",
+        algorithm: "NodeAlgorithm",
+        extras: Optional[Dict[str, Any]] = None,
+        max_rounds: Optional[int] = None,
+        track_bandwidth: bool = False,
+        crashes: Optional[Dict["NodeId", int]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> "RunResult":
+        """Execute ``algorithm`` on ``graph`` and return the run outcome."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_FACTORIES: Dict[str, Callable[[], Engine]] = {}
+_INSTANCES: Dict[str, Engine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], Engine]) -> None:
+    """Register an engine factory under ``name`` (last registration wins)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def _builtin_factories() -> None:
+    if "reference" not in _FACTORIES:
+        from repro.engine.reference import ReferenceEngine
+
+        register_engine("reference", ReferenceEngine)
+    if "vector" not in _FACTORIES:
+        from repro.engine.vector import VectorEngine
+
+        register_engine("vector", VectorEngine)
+
+
+def available_engines() -> List[str]:
+    """Names of all registered engines."""
+    _builtin_factories()
+    return sorted(_FACTORIES)
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve an engine by name (instances are cached — engines are
+    stateless between runs)."""
+    _builtin_factories()
+    if name not in _FACTORIES:
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+_current: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_engine", default=None
+)
+_default_engine = DEFAULT_ENGINE
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (validated eagerly)."""
+    global _default_engine
+    get_engine(name)
+    _default_engine = name
+
+
+def current_engine() -> Engine:
+    """The engine in effect: the innermost :func:`use_engine` scope, else
+    the process default (``reference`` unless changed)."""
+    return get_engine(_current.get() or _default_engine)
+
+
+def current_engine_name() -> str:
+    return (_current.get() or _default_engine)
+
+
+@contextlib.contextmanager
+def use_engine(name: Optional[str]) -> Iterator[Engine]:
+    """Dynamically scope engine selection: every ``run_on_graph`` inside the
+    block uses ``name``. ``None`` is a no-op scope (keeps the current
+    engine), so callers can thread an optional engine argument through
+    unconditionally."""
+    if name is None:
+        yield current_engine()
+        return
+    engine = get_engine(name)
+    token = _current.set(name)
+    try:
+        yield engine
+    finally:
+        _current.reset(token)

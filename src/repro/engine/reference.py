@@ -1,0 +1,47 @@
+"""The reference engine: the original :class:`~repro.local.network.Network`
+scheduler, unchanged.
+
+Every semantic question about the LOCAL simulation is answered by this
+engine; ``VectorEngine`` (and any future engine) is validated against it by
+the parity suite. It supports the full feature surface — tracers, crash
+schedules, bandwidth tracking — at the cost of O(n) bookkeeping per round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import networkx as nx
+
+from repro.engine.base import Engine
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.network import DEFAULT_MAX_ROUNDS, Network, RunResult
+from repro.local.trace import Tracer
+from repro.types import NodeId
+
+
+class ReferenceEngine(Engine):
+    """Bit-for-bit the pre-engine ``Network.run`` semantics."""
+
+    name = "reference"
+
+    def run(
+        self,
+        graph: nx.Graph,
+        algorithm: NodeAlgorithm,
+        extras: Optional[Dict[str, Any]] = None,
+        max_rounds: Optional[int] = None,
+        track_bandwidth: bool = False,
+        crashes: Optional[Dict[NodeId, int]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> RunResult:
+        network = Network(graph)
+        ctx = network.make_context(**(extras or {}))
+        return network.run(
+            algorithm,
+            ctx,
+            max_rounds=DEFAULT_MAX_ROUNDS if max_rounds is None else max_rounds,
+            track_bandwidth=track_bandwidth,
+            crashes=crashes,
+            tracer=tracer,
+        )

@@ -109,6 +109,7 @@ class Network:
             node.state = {}
             node.inbox = []
             node.halted = False
+            node._wake_at = 0
             node.drain_outbox()
             algorithm.initialize(node, ctx)
 
@@ -204,8 +205,17 @@ def run_on_graph(
     algorithm: NodeAlgorithm,
     extras: Optional[Dict[str, Any]] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    engine: Optional[str] = None,
 ) -> RunResult:
-    """Convenience wrapper: build a network, run, return the result."""
-    network = Network(graph)
-    ctx = network.make_context(**(extras or {}))
-    return network.run(algorithm, ctx, max_rounds=max_rounds)
+    """Run ``algorithm`` on ``graph`` through the selected execution engine.
+
+    ``engine`` names an engine explicitly; otherwise the dynamically scoped
+    selection applies (see :func:`repro.engine.use_engine`), defaulting to
+    the reference :class:`Network` scheduler. Every algorithm in the library
+    funnels through here, so one ``use_engine("vector")`` scope switches a
+    whole pipeline.
+    """
+    from repro.engine.base import current_engine, get_engine
+
+    eng = get_engine(engine) if engine is not None else current_engine()
+    return eng.run(graph, algorithm, extras=extras, max_rounds=max_rounds)

@@ -193,3 +193,36 @@ def cole_vishkin_forest_coloring(
             modeled=log_star(forest.number_of_nodes()) + 6,
         )
     return coloring
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+from repro.types import num_colors as _num_colors
+
+
+def _run_cole_vishkin(forest: nx.Graph) -> _registry.AlgorithmRun:
+    ledger = RoundLedger(label="cole-vishkin")
+    coloring = cole_vishkin_forest_coloring(forest, ledger=ledger)
+    return _registry.AlgorithmRun(
+        name="cole-vishkin",
+        kind="vertex-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+        rounds_actual=ledger.total_actual,
+        rounds_modeled=ledger.total_modeled,
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="cole-vishkin",
+        family="substrate",
+        kind="vertex-coloring",
+        summary="Cole-Vishkin 3-coloring of rooted forests",
+        color_bound="3",
+        rounds_bound="O(log* n)",
+        runner=_run_cole_vishkin,
+        requires=("forest",),
+    )
+)

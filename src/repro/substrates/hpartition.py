@@ -127,3 +127,39 @@ def h_partition(
     partition = HPartition(graph=graph, index=index, threshold=threshold)
     partition.validate()
     return partition
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+
+
+def _run_h_partition(
+    graph: nx.Graph, arboricity: Optional[int] = None, q: float = 3.0
+) -> _registry.AlgorithmRun:
+    ledger = RoundLedger(label="h-partition")
+    hp = h_partition(graph, arboricity=arboricity, q=q, ledger=ledger)
+    return _registry.AlgorithmRun(
+        name="h-partition",
+        kind="decomposition",
+        coloring=dict(hp.index),
+        colors_used=hp.num_levels,
+        rounds_actual=ledger.total_actual,
+        rounds_modeled=ledger.total_modeled,
+        extra={"threshold": hp.threshold, "num_levels": hp.num_levels},
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="h-partition",
+        family="substrate",
+        kind="decomposition",
+        summary="Nash-Williams H-partition of [4]: peel degree <= ceil(q*a) level by level",
+        color_bound="ceil(log_{q/2} n) levels of degree <= ceil(q*a)",
+        rounds_bound="O(log n)",
+        runner=_run_h_partition,
+        requires=("bounded-arboricity",),
+        params=("arboricity", "q"),
+    )
+)

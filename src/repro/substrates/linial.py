@@ -15,6 +15,7 @@ are needed, exactly as in the paper.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -67,17 +68,29 @@ def _best_step(m: int, delta: int) -> Optional[LinialStep]:
     return best
 
 
-def linial_schedule(m0: int, delta: int) -> Tuple[List[LinialStep], int]:
-    """The full iteration schedule from an m0-coloring and the final color
-    count at the fixed point."""
+@functools.lru_cache(maxsize=4096)
+def _schedule_cached(m0: int, delta: int) -> Tuple[Tuple[LinialStep, ...], int]:
     schedule: List[LinialStep] = []
     m = m0
     while True:
         step = _best_step(m, delta)
         if step is None:
-            return schedule, m
+            return tuple(schedule), m
         schedule.append(step)
         m = step.new_m
+
+
+def linial_schedule(m0: int, delta: int) -> Tuple[List[LinialStep], int]:
+    """The full iteration schedule from an m0-coloring and the final color
+    count at the fixed point.
+
+    The schedule is a pure function of the globally known ``(m0, Delta)``
+    — exactly why the paper needs no coordination rounds — so it is cached:
+    every node of a run (and every oracle invocation on same-shaped
+    subgraphs) reuses one computation.
+    """
+    schedule, final_m = _schedule_cached(m0, delta)
+    return list(schedule), final_m
 
 
 def _poly_eval(coeffs: Tuple[int, ...], x: int, q: int) -> int:
@@ -181,3 +194,35 @@ def linial_coloring(
             modeled=linial_rounds(graph.number_of_nodes(), delta),
         )
     return dict(result.outputs)
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+from repro.types import num_colors as _num_colors
+
+
+def _run_linial(graph: nx.Graph) -> _registry.AlgorithmRun:
+    ledger = RoundLedger(label="linial")
+    coloring = linial_coloring(graph, ledger=ledger)
+    return _registry.AlgorithmRun(
+        name="linial",
+        kind="vertex-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+        rounds_actual=ledger.total_actual,
+        rounds_modeled=ledger.total_modeled,
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="linial",
+        family="substrate",
+        kind="vertex-coloring",
+        summary="Linial's cover-free-set coloring from ids ([30])",
+        color_bound="O(Delta^2)",
+        rounds_bound="O(log* n)",
+        runner=_run_linial,
+    )
+)

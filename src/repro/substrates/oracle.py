@@ -141,3 +141,60 @@ class ColoringOracle:
                 modeled=fhk_edge_rounds(delta, graph.number_of_nodes()),
             )
         return dict(coloring)
+
+
+# ---------------------------------------------------------------- registry
+
+from repro import registry as _registry
+from repro.local import RoundLedger as _RoundLedger
+from repro.types import num_colors as _num_colors
+
+
+def _run_oracle_vertex(graph: nx.Graph) -> _registry.AlgorithmRun:
+    ledger = _RoundLedger(label="oracle-vertex")
+    coloring = ColoringOracle().vertex_coloring(graph, ledger=ledger)
+    return _registry.AlgorithmRun(
+        name="oracle-vertex",
+        kind="vertex-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+        rounds_actual=ledger.total_actual,
+        rounds_modeled=ledger.total_modeled,
+    )
+
+
+def _run_oracle_edge(graph: nx.Graph) -> _registry.AlgorithmRun:
+    ledger = _RoundLedger(label="oracle-edge")
+    coloring = ColoringOracle().edge_coloring(graph, ledger=ledger)
+    return _registry.AlgorithmRun(
+        name="oracle-edge",
+        kind="edge-coloring",
+        coloring=coloring,
+        colors_used=_num_colors(coloring),
+        rounds_actual=ledger.total_actual,
+        rounds_modeled=ledger.total_modeled,
+    )
+
+
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="oracle-vertex",
+        family="substrate",
+        kind="vertex-coloring",
+        summary="The [17] stand-in: Linial + Kuhn-Wattenhofer (Delta+1)-vertex-coloring",
+        color_bound="Delta + 1",
+        rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
+        runner=_run_oracle_vertex,
+    )
+)
+_registry.register(
+    _registry.AlgorithmSpec(
+        name="oracle-edge",
+        family="substrate",
+        kind="edge-coloring",
+        summary="The [17] stand-in on the line graph: (2*Delta-1)-edge-coloring",
+        color_bound="2*Delta - 1",
+        rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
+        runner=_run_oracle_edge,
+    )
+)

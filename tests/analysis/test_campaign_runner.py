@@ -1,0 +1,190 @@
+"""Cell campaigns: workload table, CampaignRunner fan-out, persistence,
+and the CLI wiring for run/sweep/campaign cells."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    build_workload,
+    default_cells,
+    load_cell_results,
+    save_cell_results,
+    workload_names,
+)
+from repro.cli import main
+from repro.errors import InvalidParameterError
+
+
+class TestWorkloads:
+    def test_builtin_names(self):
+        names = workload_names()
+        assert {"random-regular", "erdos-renyi", "star-forest-stack"} <= set(names)
+
+    def test_build_with_params(self):
+        graph = build_workload("random-regular", {"n": 20, "d": 4}, seed=3)
+        assert graph.number_of_nodes() == 20
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_seed_changes_graph(self):
+        g1 = build_workload("erdos-renyi", {"n": 30, "p": 0.2}, seed=1)
+        g2 = build_workload("erdos-renyi", {"n": 30, "p": 0.2}, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_unknown_workload(self):
+        with pytest.raises(InvalidParameterError, match="unknown workload"):
+            build_workload("mobius-donut", {})
+
+    def test_bad_workload_params(self):
+        with pytest.raises(InvalidParameterError, match="rejected parameters"):
+            build_workload("random-regular", {"bogus": 5})
+
+    def test_custom_registration_keeps_builtins(self):
+        from repro.analysis.campaign import WORKLOADS, register_workload
+
+        register_workload("test-triangle", lambda seed=0: build_workload("planar-grid", {"rows": 2, "cols": 2}))
+        try:
+            assert "test-triangle" in workload_names()
+            assert "random-regular" in workload_names()
+        finally:
+            WORKLOADS.pop("test-triangle", None)
+
+
+class TestCampaignRunner:
+    CELLS = [
+        CampaignCell("star4", "random-regular", {"n": 16, "d": 4}, seed=0),
+        CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}, seed=0),
+        CampaignCell(
+            "thm52",
+            "star-forest-stack",
+            {"n_centers": 4, "leaves_per_center": 8, "a": 2},
+            seed=1,
+            algo_params={"arboricity": 2},
+        ),
+    ]
+
+    def test_inline_run(self):
+        rows = CampaignRunner(self.CELLS, jobs=1).run()
+        assert len(rows) == 3
+        assert [r["error"] for r in rows] == [None, None, None]
+        assert all(r["colors_used"] > 0 for r in rows)
+        assert all("wall_ms" in r for r in rows)
+
+    def test_pool_matches_inline(self):
+        inline = CampaignRunner(self.CELLS, engine="vector", jobs=1).run()
+        pooled = CampaignRunner(self.CELLS, engine="vector", jobs=2).run()
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "wall_ms"} for r in rows
+        ]
+        assert strip(inline) == strip(pooled)
+
+    def test_per_cell_engine_override(self):
+        cells = [
+            CampaignCell("star4", "random-regular", {"n": 16, "d": 4}, engine="vector"),
+            CampaignCell("star4", "random-regular", {"n": 16, "d": 4}),
+        ]
+        rows = CampaignRunner(cells, engine="reference").run()
+        assert rows[0]["engine"] == "vector"
+        assert rows[1]["engine"] == "reference"
+        assert rows[0]["colors_used"] == rows[1]["colors_used"]
+
+    def test_error_isolation(self):
+        cells = [
+            CampaignCell("thm54", "random-regular", {"n": 16, "d": 4}, algo_params={"x": 0}),
+            CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}),
+        ]
+        rows = CampaignRunner(cells).run()
+        assert rows[0]["error"] is not None
+        assert rows[1]["error"] is None
+
+    def test_non_repro_errors_are_isolated_too(self):
+        from repro import registry
+
+        def explode(graph):
+            raise KeyError("runner bug")
+
+        registry.register(
+            registry.AlgorithmSpec(
+                name="test-exploder", family="baseline", kind="edge-coloring",
+                summary="always raises a non-ReproError", color_bound="-",
+                rounds_bound="-", runner=explode,
+            )
+        )
+        try:
+            cells = [
+                CampaignCell("test-exploder", "random-regular", {"n": 16, "d": 4}),
+                CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}),
+            ]
+            rows = CampaignRunner(cells).run()
+            assert "KeyError" in rows[0]["error"]
+            assert rows[1]["error"] is None
+        finally:
+            registry._REGISTRY.pop("test-exploder", None)
+
+    def test_bad_jobs(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignRunner([], jobs=0)
+
+    def test_roundtrip_persistence(self, tmp_path):
+        rows = CampaignRunner(self.CELLS[:1]).run()
+        out = tmp_path / "cells.json"
+        save_cell_results(rows, out)
+        assert load_cell_results(out) == json.loads(json.dumps(rows))
+
+    def test_default_cells_shape(self):
+        cells = default_cells(seeds=(0,))
+        keys = {cell.key() for cell in cells}
+        assert len(keys) == len(cells)
+        assert any(cell.algorithm == "thm52" for cell in cells)
+
+
+class TestCliEngineJobs:
+    def test_run_workload_with_seeds(self, tmp_path, capsys):
+        out = tmp_path / "rows.json"
+        code = main(
+            [
+                "run", "--workload", "random-regular",
+                "--workload-param", "n=16", "--workload-param", "d=4",
+                "--algorithm", "star4", "--seeds", "0,1",
+                "--engine", "vector", "--jobs", "1", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2
+        assert all(r["error"] is None for r in rows)
+        assert "colors=" in capsys.readouterr().out
+
+    def test_sweep_prints_table(self, capsys):
+        code = main(
+            [
+                "sweep", "--algorithm", "greedy", "--deltas", "4,6",
+                "--n", "16", "--engine", "vector",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| Delta |" in out
+        assert "| 4 |" in out and "| 6 |" in out
+
+    def test_campaign_cells(self, tmp_path, capsys, monkeypatch):
+        from repro.analysis import campaign as campaign_mod
+
+        cells = [CampaignCell("greedy", "random-regular", {"n": 16, "d": 4})]
+        monkeypatch.setattr(campaign_mod, "default_cells", lambda: cells)
+        out = tmp_path / "cells.json"
+        code = main(["campaign", "cells", "--out", str(out), "--engine", "vector"])
+        assert code == 0
+        assert "saved 1 cell results" in capsys.readouterr().out
+        assert load_cell_results(out)[0]["algorithm"] == "greedy"
+
+    def test_campaign_cells_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "cells"])
+
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms", "--family", "core"]) == 0
+        out = capsys.readouterr().out
+        assert "star4" in out and "thm52" in out

@@ -1,0 +1,175 @@
+"""Engine-parity suite: every registered algorithm must produce identical
+outputs, round counts, and message counts under ``ReferenceEngine`` and
+``VectorEngine``.
+
+This is the contract that lets the vector engine skip sleep-hinted no-op
+steps: if a hint ever lies (a skipped step would have acted), outputs or
+message profiles diverge and these tests fail.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import registry
+from repro.engine import get_engine
+from repro.graphs import (
+    cycle,
+    erdos_renyi,
+    line_graph_with_cover,
+    path,
+    planar_grid,
+    random_regular,
+    random_tree,
+)
+from repro.substrates.linial import LinialAlgorithm, linial_coloring
+from repro.substrates.reduction import (
+    BasicReductionAlgorithm,
+    BlockedReductionAlgorithm,
+)
+
+
+def _isolated_plus_edges() -> nx.Graph:
+    graph = nx.Graph([(0, 1), (2, 3)])
+    graph.add_nodes_from([10, 11])
+    return graph
+
+
+# Corpus: small but diverse — regular, sparse, degenerate, disconnected.
+_CORPUS = {
+    "one-edge": lambda: path(2),
+    "path-7": lambda: path(7),
+    "cycle-9": lambda: cycle(9),
+    "star-9": lambda: nx.star_graph(9),
+    "k5": lambda: nx.complete_graph(5),
+    "petersen": nx.petersen_graph,
+    "grid-4x5": lambda: planar_grid(4, 5),
+    "tree-20": lambda: random_tree(20, seed=4),
+    "gnp-30": lambda: erdos_renyi(30, 0.2, seed=5),
+    "regular-24-6": lambda: random_regular(24, 6, seed=7),
+    "isolated+edges": _isolated_plus_edges,
+}
+PARITY_GRAPHS = tuple(sorted(_CORPUS))
+
+
+def small_graph(name: str) -> nx.Graph:
+    return _CORPUS[name]()
+
+# Algorithms runnable on any plain graph. ``cole-vishkin`` (needs a forest)
+# and ``thm54`` (slow at this scale) get dedicated cases below.
+GENERAL_ALGORITHMS = [
+    name for name in registry.names() if name not in ("cole-vishkin", "thm54")
+]
+
+
+def run_both(name: str, graph, **params):
+    ref = registry.run(name, graph, engine="reference", **params)
+    vec = registry.run(name, graph, engine="vector", **params)
+    return ref, vec
+
+
+def assert_same_run(ref: registry.AlgorithmRun, vec: registry.AlgorithmRun) -> None:
+    assert vec.coloring == ref.coloring
+    assert vec.colors_used == ref.colors_used
+    assert vec.rounds_actual == ref.rounds_actual
+    assert vec.rounds_modeled == ref.rounds_modeled
+    assert vec.extra == ref.extra
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("graph_name", PARITY_GRAPHS)
+    @pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+    def test_identical_runs(self, algorithm, graph_name):
+        graph = small_graph(graph_name)
+        assert_same_run(*run_both(algorithm, graph))
+
+    def test_cole_vishkin_on_forest(self):
+        forest = random_tree(24, seed=9)
+        assert_same_run(*run_both("cole-vishkin", forest))
+
+    def test_thm54_recursive(self):
+        graph = small_graph("regular-24-6")
+        assert_same_run(*run_both("thm54", graph, x=2, arboricity=3))
+
+    @pytest.mark.parametrize("x", (1, 2))
+    def test_star_depths(self, x):
+        graph = random_regular(24, 8, seed=3)
+        assert_same_run(*run_both("star", graph, x=x))
+
+    def test_randomized_seeded(self):
+        graph = random_regular(24, 6, seed=5)
+        assert_same_run(*run_both("randomized", graph, seed=11))
+
+
+class TestEngineLevelParity:
+    """Full RunResult equality (outputs, rounds, messages, per-round
+    profile) on the protocols that publish sleep hints."""
+
+    def assert_runs_equal(self, graph, algorithm, extras):
+        ref = get_engine("reference").run(graph, algorithm, extras=extras)
+        vec = get_engine("vector").run(graph, algorithm, extras=extras)
+        assert vec.outputs == ref.outputs
+        assert vec.rounds == ref.rounds
+        assert vec.messages == ref.messages
+        assert vec.round_messages == ref.round_messages
+        assert vec.crashed == ref.crashed
+
+    @pytest.mark.parametrize("graph_name", PARITY_GRAPHS)
+    def test_basic_reduction(self, graph_name):
+        graph = small_graph(graph_name)
+        ordered = sorted(graph.nodes(), key=repr)
+        coloring = {v: i for i, v in enumerate(ordered)}
+        delta = max((d for _, d in graph.degree()), default=0)
+        self.assert_runs_equal(
+            graph,
+            BasicReductionAlgorithm(),
+            {"coloring": coloring, "m": len(ordered), "target": delta + 1},
+        )
+
+    @pytest.mark.parametrize("graph_name", PARITY_GRAPHS)
+    def test_blocked_reduction(self, graph_name):
+        graph = small_graph(graph_name)
+        ordered = sorted(graph.nodes(), key=repr)
+        coloring = {v: i for i, v in enumerate(ordered)}
+        delta = max((d for _, d in graph.degree()), default=0)
+        self.assert_runs_equal(
+            graph,
+            BlockedReductionAlgorithm(),
+            {"coloring": coloring, "block": 2 * (delta + 1), "palette": delta + 1},
+        )
+
+    def test_linial_line_graph(self):
+        line, _ = line_graph_with_cover(random_regular(20, 4, seed=2))
+        initial = {v: i for i, v in enumerate(sorted(line.nodes(), key=repr))}
+        self.assert_runs_equal(
+            line,
+            LinialAlgorithm(),
+            {"initial_coloring": initial, "m0": len(initial)},
+        )
+
+
+class TestParityAtModerateScale:
+    """One larger instance per hot path, so the event-driven skipping is
+    actually exercised at depth (hundreds of rounds, mostly-idle nodes)."""
+
+    def test_basic_reduction_large_palette(self):
+        line, _ = line_graph_with_cover(random_regular(40, 6, seed=3))
+        initial = linial_coloring(line)
+        delta = max(d for _, d in line.degree())
+        extras = {
+            "coloring": initial,
+            "m": max(initial.values()) + 1,
+            "target": 2 * delta + 1,
+        }
+        ref = get_engine("reference").run(line, BasicReductionAlgorithm(), extras=extras)
+        vec = get_engine("vector").run(line, BasicReductionAlgorithm(), extras=extras)
+        assert vec.outputs == ref.outputs
+        assert vec.rounds == ref.rounds
+        assert vec.round_messages == ref.round_messages
+
+    def test_thm52_pipeline(self):
+        from repro.graphs import star_forest_stack
+
+        graph = star_forest_stack(6, 30, 3, seed=17)
+        assert_same_run(*run_both("thm52", graph, arboricity=3))

@@ -1,0 +1,257 @@
+"""VectorEngine scheduler semantics: sleep/wake bookkeeping, crash
+schedules, round limits, bandwidth tracking, and engine selection."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.engine import (
+    ReferenceEngine,
+    VectorEngine,
+    available_engines,
+    current_engine,
+    current_engine_name,
+    get_engine,
+    use_engine,
+)
+from repro.errors import InvalidParameterError, RoundLimitExceeded, SimulationError
+from repro.local import Context, Message, Node, NodeAlgorithm, Tracer, run_on_graph
+from repro.local.network import Network
+
+
+class CountingSleeper(NodeAlgorithm):
+    """Waits (as a no-op) until round ``wake``, then halts; counts how many
+    times the engine actually stepped each node."""
+
+    name = "counting-sleeper"
+
+    def __init__(self, wake: int, hint: bool):
+        self.wake = wake
+        self.hint = hint
+        self.steps = 0
+
+    def initialize(self, node: Node, ctx: Context) -> None:
+        node.state["output"] = node.id
+        if self.hint:
+            node.sleep_until(self.wake)
+
+    def step(self, node: Node, inbox, round_no: int, ctx: Context) -> None:
+        self.steps += 1
+        if round_no >= self.wake:
+            node.halt()
+
+
+class PingOnce(NodeAlgorithm):
+    """Node 0 sends one message to node 1 at round k; node 1 sleeps far in
+    the future but must still wake on delivery, record, and halt."""
+
+    name = "ping-once"
+
+    def initialize(self, node: Node, ctx: Context) -> None:
+        node.state["output"] = None
+        if node.id == 0:
+            node.sleep_until(3)
+        else:
+            node.sleep_until(10_000)
+
+    def step(self, node: Node, inbox, round_no: int, ctx: Context) -> None:
+        if node.id == 0 and round_no == 3:
+            node.send(1, "ping")
+            node.halt()
+        if node.id == 1 and inbox:
+            node.state["output"] = (round_no, inbox[0].payload)
+            node.halt()
+
+
+class TestSleepScheduling:
+    def test_hinted_steps_are_skipped(self):
+        graph = nx.path_graph(6)
+        hinted = CountingSleeper(wake=50, hint=True)
+        get_engine("vector").run(graph, hinted)
+        # one step per node, at the wake round only
+        assert hinted.steps == 6
+
+        unhinted = CountingSleeper(wake=50, hint=False)
+        get_engine("vector").run(graph, unhinted)
+        assert unhinted.steps == 6 * 50
+
+    def test_reference_ignores_hints_same_result(self):
+        graph = nx.path_graph(6)
+        ref = get_engine("reference").run(graph, CountingSleeper(wake=20, hint=True))
+        vec = get_engine("vector").run(graph, CountingSleeper(wake=20, hint=True))
+        assert ref.rounds == vec.rounds == 20
+        assert ref.outputs == vec.outputs
+
+    def test_message_wakes_sleeper(self):
+        graph = nx.path_graph(2)
+        ref = get_engine("reference").run(graph, PingOnce())
+        vec = get_engine("vector").run(graph, PingOnce())
+        assert ref.outputs == vec.outputs == {0: None, 1: (4, "ping")}
+        assert ref.rounds == vec.rounds == 4
+
+
+class TestFeatureParity:
+    def test_crash_schedule(self):
+        graph = nx.cycle_graph(8)
+        crashes = {2: 3, 5: 1}
+
+        class Beacon(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.state["output"] = 0
+                node.broadcast(0)
+
+            def step(self, node, inbox, round_no, ctx):
+                node.state["output"] = round_no
+                if round_no >= 6:
+                    node.halt()
+                else:
+                    node.broadcast(round_no)
+
+        ref = get_engine("reference").run(graph, Beacon(), crashes=crashes)
+        vec = get_engine("vector").run(graph, Beacon(), crashes=crashes)
+        assert ref.outputs == vec.outputs
+        assert ref.crashed == vec.crashed == frozenset({2, 5})
+        assert ref.round_messages == vec.round_messages
+
+    def test_round_limit(self):
+        graph = nx.path_graph(4)
+
+        class Forever(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                pass
+
+            def step(self, node, inbox, round_no, ctx):
+                pass
+
+        with pytest.raises(RoundLimitExceeded):
+            get_engine("vector").run(graph, Forever(), max_rounds=25)
+
+    def test_round_limit_with_sleepers(self):
+        graph = nx.path_graph(4)
+
+        class SleepForever(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.sleep_until(10**9)
+
+            def step(self, node, inbox, round_no, ctx):
+                pass
+
+        with pytest.raises(RoundLimitExceeded):
+            get_engine("vector").run(graph, SleepForever(), max_rounds=25)
+
+    def test_track_bandwidth(self):
+        graph = nx.path_graph(3)
+
+        class Wide(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.state["output"] = None
+                node.broadcast((1, 2, 3, 4))
+
+            def step(self, node, inbox, round_no, ctx):
+                node.halt()
+
+        ref = get_engine("reference").run(graph, Wide(), track_bandwidth=True)
+        vec = get_engine("vector").run(graph, Wide(), track_bandwidth=True)
+        assert ref.max_message_bits == vec.max_message_bits > 0
+
+    def test_tracer_delegates_to_reference(self):
+        graph = nx.path_graph(3)
+
+        class OneShot(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.state["output"] = node.id
+                node.broadcast(node.id)
+
+            def step(self, node, inbox, round_no, ctx):
+                node.halt()
+
+        tracer = Tracer()
+        result = get_engine("vector").run(graph, OneShot(), tracer=tracer)
+        assert result.rounds == 1
+        assert len(tracer.rounds) >= 1
+
+    def test_self_loop_rejected(self):
+        graph = nx.Graph([(0, 0), (0, 1)])
+        with pytest.raises(SimulationError):
+            get_engine("vector").run(graph, NodeAlgorithm())
+
+    def test_unknown_crash_node_rejected(self):
+        with pytest.raises(SimulationError):
+            get_engine("vector").run(nx.path_graph(2), NodeAlgorithm(), crashes={99: 1})
+
+    def test_empty_graph(self):
+        result = get_engine("vector").run(nx.Graph(), NodeAlgorithm())
+        assert result.rounds == 0
+        assert result.messages == 0
+        assert result.outputs == {}
+
+
+class TestEngineSelection:
+    def test_available(self):
+        assert {"reference", "vector"} <= set(available_engines())
+
+    def test_get_engine_types(self):
+        assert isinstance(get_engine("reference"), ReferenceEngine)
+        assert isinstance(get_engine("vector"), VectorEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(InvalidParameterError):
+            get_engine("warp")
+
+    def test_use_engine_scopes(self):
+        assert current_engine_name() == "reference"
+        with use_engine("vector"):
+            assert current_engine_name() == "vector"
+            assert isinstance(current_engine(), VectorEngine)
+            with use_engine("reference"):
+                assert current_engine_name() == "reference"
+            assert current_engine_name() == "vector"
+        assert current_engine_name() == "reference"
+
+    def test_use_engine_none_is_noop(self):
+        with use_engine("vector"):
+            with use_engine(None) as engine:
+                assert isinstance(engine, VectorEngine)
+
+    def test_run_on_graph_engine_argument(self):
+        graph = nx.path_graph(3)
+
+        class OneShot(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.state["output"] = node.id
+                node.broadcast(node.id)
+
+            def step(self, node, inbox, round_no, ctx):
+                node.halt()
+
+        ref = run_on_graph(graph, OneShot(), engine="reference")
+        vec = run_on_graph(graph, OneShot(), engine="vector")
+        assert ref.outputs == vec.outputs
+
+    def test_network_reset_clears_wake_hint(self):
+        graph = nx.path_graph(3)
+        network = Network(graph)
+
+        class Hinter(NodeAlgorithm):
+            def initialize(self, node, ctx):
+                node.state["output"] = node.id
+                node.sleep_until(2)
+
+            def step(self, node, inbox, round_no, ctx):
+                if round_no >= 2:
+                    node.halt()
+
+        network.run(Hinter(), network.make_context())
+        for node in network.nodes.values():
+            assert node.wake_round == 2
+        # A fresh run resets hints before initialize.
+        network.run(NodeAlgorithmHaltNow(), network.make_context())
+        for node in network.nodes.values():
+            assert node.wake_round == 0
+
+
+class NodeAlgorithmHaltNow(NodeAlgorithm):
+    def initialize(self, node, ctx):
+        node.state["output"] = None
+        node.halt()

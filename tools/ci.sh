@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: byte-compile everything (so import-time registry errors
+# fail fast, before any test runs), then run the tier-1 suite.
+#
+# Usage: tools/ci.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall (import-time registry safety) =="
+python -m compileall -q src tests benchmarks examples tools
+
+echo "== registry loads and is populated =="
+python -c "
+from repro import registry
+names = registry.names()
+assert len(names) >= 20, f'registry unexpectedly small: {names}'
+print(f'{len(names)} algorithms registered')
+"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q "$@"
