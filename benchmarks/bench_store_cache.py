@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Benchmark: cold vs. warm campaign wall-clock through the run cache.
+
+Runs one >= 60-cell campaign grid (paper algorithms + executable baselines
+x three workload families x three seeds) twice against the same
+experiment store:
+
+* **cold** — empty store, every cell executes through the registry;
+* **warm** — identical grid, every cell is a content-addressed cache hit
+  served straight from SQLite, short-circuiting all computation.
+
+Writes ``BENCH_store.json`` and exits nonzero if the warm pass is not at
+least ``--require-speedup`` (default 10.0) times faster than the cold
+pass, or if any cell misses the cache on the warm pass.
+
+Run:  PYTHONPATH=src python benchmarks/bench_store_cache.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List
+
+from repro.analysis.campaign import CampaignCell, CampaignRunner
+from repro.store import ExperimentStore, RunCache
+
+ALGORITHMS = ("star4", "star", "thm52", "cor55", "forest", "greedy", "vizing")
+GRIDS = (
+    ("random-regular", {"n": 32, "d": 6}),
+    ("star-forest-stack", {"n_centers": 4, "leaves_per_center": 12, "a": 2}),
+    ("erdos-renyi", {"n": 32, "p": 0.15}),
+)
+SEEDS = (0, 1, 2)
+
+
+def grid() -> List[CampaignCell]:
+    return [
+        CampaignCell(
+            algorithm=algorithm, workload=workload, workload_params=params, seed=seed
+        )
+        for algorithm in ALGORITHMS
+        for workload, params in GRIDS
+        for seed in SEEDS
+    ]
+
+
+def run_pass(store: ExperimentStore, cells: List[CampaignCell]):
+    cache = RunCache(store)
+    started = time.perf_counter()
+    rows = CampaignRunner(cells, cache=cache).run()
+    elapsed = time.perf_counter() - started
+    return elapsed, rows, cache
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require-speedup", type=float, default=10.0)
+    parser.add_argument("--out", default="BENCH_store.json")
+    args = parser.parse_args()
+
+    cells = grid()
+    assert len(cells) >= 60, f"grid too small: {len(cells)} cells"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ExperimentStore(Path(tmp) / "bench.db") as store:
+            cold_s, cold_rows, _ = run_pass(store, cells)
+            warm_s, warm_rows, warm_cache = run_pass(store, cells)
+
+    failed = [r for r in cold_rows if r["error"]]
+    warm_misses = warm_cache.misses
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    payload = {
+        "benchmark": "store_cache",
+        "cells": len(cells),
+        "algorithms": list(ALGORITHMS),
+        "workloads": [name for name, _ in GRIDS],
+        "seeds": list(SEEDS),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "warm_cache_hits": warm_cache.hits,
+        "warm_cache_misses": warm_misses,
+        "failed_cells": len(failed),
+        "require_speedup": args.require_speedup,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    print(json.dumps(payload, indent=1))
+
+    if failed:
+        print(f"FAIL: {len(failed)} cells errored", file=sys.stderr)
+        return 1
+    if warm_misses:
+        print(f"FAIL: warm pass missed the cache {warm_misses} times", file=sys.stderr)
+        return 1
+    if speedup < args.require_speedup:
+        print(
+            f"FAIL: warm speedup {speedup:.1f}x < required "
+            f"{args.require_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: warm cache {speedup:.1f}x faster over {len(cells)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+from collections.abc import MutableMapping
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,8 +34,10 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 import networkx as nx
 
+from repro import workloads as _workloads
 from repro.analysis.metrics import ExperimentRecord
 from repro.errors import InvalidParameterError
+from repro.store.cache import RunCache
 
 PathLike = Union[str, Path]
 
@@ -150,81 +153,56 @@ def compare_campaigns(
 
 
 # --------------------------------------------------------------------------
-# Cell campaigns: (algorithm x workload x seed) through the registry
+# Cell campaigns: (algorithm x workload x seed) through the registries
 # --------------------------------------------------------------------------
 
-#: Named graph workloads a campaign cell can reference. Every factory takes
-#: keyword parameters plus ``seed`` (ignored by deterministic topologies), so
-#: cells stay picklable descriptions instead of carrying graph objects into
-#: worker processes.
-WORKLOADS: Dict[str, Callable[..., nx.Graph]] = {}
+class _WorkloadTable(MutableMapping):
+    """Legacy view of the workload registry.
 
-_BUILTINS_LOADED = False
+    Preserves the original PR-1 contract: values are callables taking
+    ``(seed=..., **params)``, assignment registers a factory, ``pop``
+    unregisters. All operations are live views onto
+    :mod:`repro.workloads` — there is exactly one registry.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., nx.Graph]:
+        try:
+            _workloads.get(name)
+        except InvalidParameterError:
+            raise KeyError(name) from None
+        return lambda seed=0, **params: _workloads.build(name, params, seed=seed)
+
+    def __setitem__(self, name: str, factory: Callable[..., nx.Graph]) -> None:
+        _workloads.register_factory(name, factory, replace=True)
+
+    def __delitem__(self, name: str) -> None:
+        del _workloads.registry._REGISTRY[name]
+
+    def __iter__(self):
+        return iter(_workloads.names())
+
+    def __len__(self) -> int:
+        return len(_workloads.names())
+
+
+#: The live workload table — a legacy view over :mod:`repro.workloads`
+#: (use that module directly in new code).
+WORKLOADS: MutableMapping = _WorkloadTable()
 
 
 def register_workload(name: str, factory: Callable[..., nx.Graph]) -> None:
-    WORKLOADS[name] = factory
-
-
-def _builtin_workloads() -> None:
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    _BUILTINS_LOADED = True
-    from repro.graphs import (
-        erdos_renyi,
-        hypercube,
-        line_graph_with_cover,
-        planar_grid,
-        random_regular,
-        random_tree,
-        star_forest_stack,
-        torus,
-    )
-
-    register_workload(
-        "random-regular", lambda n=64, d=8, seed=0: random_regular(n, d, seed=seed)
-    )
-    register_workload(
-        "erdos-renyi", lambda n=64, p=0.1, seed=0: erdos_renyi(n, p, seed=seed)
-    )
-    register_workload(
-        "random-tree", lambda n=64, seed=0: random_tree(n, seed=seed)
-    )
-    register_workload(
-        "star-forest-stack",
-        lambda n_centers=6, leaves_per_center=24, a=2, seed=0: star_forest_stack(
-            n_centers, leaves_per_center, a, seed=seed
-        ),
-    )
-    register_workload("planar-grid", lambda rows=8, cols=8, seed=0: planar_grid(rows, cols))
-    register_workload("torus", lambda rows=8, cols=8, seed=0: torus(rows, cols))
-    register_workload("hypercube", lambda dim=6, seed=0: hypercube(dim))
-    register_workload(
-        "line-of-regular",
-        lambda n=48, d=8, seed=0: line_graph_with_cover(random_regular(n, d, seed=seed))[0],
-    )
+    """Legacy registration shim: wrap ``factory`` into a
+    :class:`~repro.workloads.WorkloadSpec` (replacing any existing name)."""
+    _workloads.register_factory(name, factory, replace=True)
 
 
 def workload_names() -> List[str]:
-    _builtin_workloads()
-    return sorted(WORKLOADS)
+    return _workloads.names()
 
 
 def build_workload(name: str, params: Mapping[str, Any], seed: int = 0) -> nx.Graph:
     """Instantiate workload ``name`` with ``params`` and ``seed``."""
-    _builtin_workloads()
-    factory = WORKLOADS.get(name)
-    if factory is None:
-        raise InvalidParameterError(
-            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
-        )
-    try:
-        return factory(seed=seed, **dict(params))
-    except TypeError as exc:
-        raise InvalidParameterError(
-            f"workload {name!r} rejected parameters {dict(params)!r}: {exc}"
-        ) from exc
+    return _workloads.build(name, params, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -276,11 +254,14 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             **payload["algo_params"],
         )
         wall_ms = (time.perf_counter() - started) * 1000.0
+        verified = False
         if payload.get("verify", True):
             if run.kind == "edge-coloring":
                 verify_edge_coloring(graph, run.coloring)
+                verified = True
             elif run.kind == "vertex-coloring":
                 verify_vertex_coloring(graph, run.coloring)
+                verified = True
         row.update(
             n=graph.number_of_nodes(),
             m=graph.number_of_edges(),
@@ -290,6 +271,7 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             rounds_modeled=run.rounds_modeled,
             wall_ms=wall_ms,
             extra=run.extra,
+            verified=verified,
             error=None,
         )
     except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
@@ -299,11 +281,18 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 class CampaignRunner:
     """Fan registered (algorithm x workload x seed) cells across a process
-    pool with per-cell engine selection.
+    pool with per-cell engine selection and an optional run cache.
 
     ``engine`` is the default for cells that do not pin one; ``jobs`` is
     the worker-process count (1 = run inline, no pool). Results come back
     in cell order regardless of completion order.
+
+    With a :class:`~repro.store.RunCache` attached, cells whose
+    content-addressed key is already in the store are served from SQLite
+    without touching the pool, and every freshly-computed cell is recorded
+    the moment its result arrives — killing the process mid-campaign loses
+    at most the in-flight cells, and rerunning the same command finishes
+    the rest. Cached rows carry ``cached=True`` and their ``run_key``.
     """
 
     def __init__(
@@ -312,6 +301,7 @@ class CampaignRunner:
         engine: Optional[str] = None,
         jobs: int = 1,
         verify: bool = True,
+        cache: Optional[RunCache] = None,
     ):
         if jobs < 1:
             raise InvalidParameterError("jobs must be >= 1")
@@ -319,6 +309,7 @@ class CampaignRunner:
         self.engine = engine
         self.jobs = jobs
         self.verify = verify
+        self.cache = cache
 
     def _payloads(self) -> List[Dict[str, Any]]:
         return [
@@ -336,11 +327,100 @@ class CampaignRunner:
 
     def run(self) -> List[Dict[str, Any]]:
         payloads = self._payloads()
+        if self.cache is not None:
+            return self._run_cached(payloads)
         if self.jobs == 1 or len(payloads) <= 1:
             return [_execute_cell(p) for p in payloads]
         workers = min(self.jobs, len(payloads))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_execute_cell, payloads))
+
+    def _run_cached(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        from repro.engine import current_engine_name
+
+        # Pin every payload to an explicit engine name so the executed
+        # engine and the one folded into the run key cannot drift.
+        for payload in payloads:
+            payload["engine"] = payload["engine"] or current_engine_name()
+
+        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        keys: List[Optional[str]] = []
+        miss_indices: List[int] = []
+        for index, (cell, payload) in enumerate(zip(self.cells, payloads)):
+            try:
+                key = self.cache.key_for(cell, engine=payload["engine"])
+            except Exception:  # noqa: BLE001 - per-cell isolation: an
+                # unaddressable cell (unknown workload, bad params) still
+                # executes so its error lands in a row, not an exception.
+                keys.append(None)
+                miss_indices.append(index)
+                continue
+            keys.append(key)
+            hit = self.cache.get(key)
+            if hit is not None:
+                results[index] = hit
+            else:
+                miss_indices.append(index)
+
+        def _record(index: int, row: Dict[str, Any]) -> None:
+            row = dict(row, cached=False, run_key=keys[index])
+            if keys[index] is not None:
+                self.cache.record(
+                    keys[index], row, family=_algorithm_family(row["algorithm"])
+                )
+            results[index] = row
+
+        miss_payloads = [payloads[i] for i in miss_indices]
+        if self.jobs == 1 or len(miss_payloads) <= 1:
+            for index, payload in zip(miss_indices, miss_payloads):
+                _record(index, _execute_cell(payload))
+        else:
+            workers = min(self.jobs, len(miss_payloads))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for index, row in zip(
+                    miss_indices, pool.map(_execute_cell, miss_payloads)
+                ):
+                    _record(index, row)
+        return results  # type: ignore[return-value]
+
+
+def _algorithm_family(name: str) -> Optional[str]:
+    from repro import registry
+
+    try:
+        return registry.get(name).family
+    except Exception:  # noqa: BLE001 - unknown algorithms still get stored
+        return None
+
+
+def grid_cells(
+    algorithms: Sequence[str],
+    workloads: Sequence[str],
+    seeds: Sequence[int],
+    engine: Optional[str] = None,
+) -> List[CampaignCell]:
+    """The declarative campaign grid: every ``(algorithm x workload x
+    seed)`` triple, by name, with workload defaults as parameters. Both
+    name lists are validated eagerly against their registries so typos
+    fail before any cell runs."""
+    from repro import registry
+
+    for algorithm in algorithms:
+        registry.get(algorithm)
+    for workload in workloads:
+        _workloads.get(workload)
+    return [
+        CampaignCell(
+            algorithm=algorithm,
+            workload=workload,
+            workload_params=_workloads.canonical_params(workload),
+            seed=seed,
+            engine=engine,
+        )
+        for algorithm in algorithms
+        for workload in workloads
+        for seed in seeds
+    ]
 
 
 def default_cells(

@@ -226,6 +226,40 @@ def _print_records(title: str, records: List[ExperimentRecord]) -> None:
     )
 
 
+#: Default column order for rendering experiment-store query rows.
+CELL_ROW_COLUMNS = (
+    "algorithm",
+    "workload",
+    "seed",
+    "engine",
+    "n",
+    "m",
+    "colors_used",
+    "rounds_actual",
+    "rounds_modeled",
+    "verified",
+    "error",
+)
+
+
+def cell_rows_markdown(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] = CELL_ROW_COLUMNS,
+) -> str:
+    """Render experiment-store query rows (plain dicts — the output of
+    :meth:`repro.store.ExperimentStore.query`) as a GitHub-flavoured
+    markdown table, the same surface the ExperimentRecord tables use."""
+    from repro.analysis.metrics import _fmt
+
+    header = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_fmt(row.get(column)) for column in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
     _print_records("Table 1 — edge coloring of general graphs", run_table1())
     _print_records("Table 2 — vertex coloring, bounded diversity", run_table2())

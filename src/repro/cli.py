@@ -15,20 +15,29 @@ Subcommands:
   graphs, with per-point engine/jobs control.
 * ``campaign`` — ``run``/``check`` persist and diff the table-reproduction
   record grid; ``cells`` fans the (algorithm x workload x seed) cell grid
-  across a process pool and saves structured JSON.
+  across a process pool, optionally against a content-addressed experiment
+  store (``--store runs.db``) so already-computed cells are served from
+  SQLite and a killed campaign resumes with ``--resume``.
+* ``workloads`` — the declarative workload registry: every named graph
+  scenario with its family and default parameters.
+* ``query`` — filter and print rows of an experiment store.
+* ``gc`` — drop unreachable store rows (stale code versions, errors).
 * ``tables`` / ``figures`` / ``experiments`` — the paper-reproduction
   harnesses.
 
 Engine selection (``--engine {reference,vector}``) routes every simulated
 round through :mod:`repro.engine`; ``--jobs N`` parallelizes across worker
-processes wherever the subcommand has more than one unit of work.
+processes wherever the subcommand has more than one unit of work
+(defaulting to one worker per CPU).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro import io as repro_io
@@ -156,7 +165,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             for seed in seeds
         ]
-        rows = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
+        rows = CampaignRunner(cells, engine=args.engine, jobs=_resolve_jobs(args)).run()
 
     failures = 0
     for row in rows:
@@ -199,7 +208,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 algo_params=params,
             )
         )
-    rows = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
+    rows = CampaignRunner(cells, engine=args.engine, jobs=_resolve_jobs(args)).run()
     print(f"# {args.algorithm} Delta sweep (engine={args.engine or 'default'})")
     print("| Delta | n | m | colors | rounds | modeled | wall_ms |")
     print("|---|---|---|---|---|---|---|")
@@ -249,42 +258,91 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
+def _campaign_cells(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import (
         CampaignRunner,
-        compare_campaigns,
         default_cells,
-        default_grid,
-        load_campaign,
-        save_campaign,
+        grid_cells,
         save_cell_results,
     )
 
-    if args.action == "cells":
-        if not args.out:
-            raise SystemExit("campaign cells requires --out")
-        cells = default_cells()
-        results = CampaignRunner(cells, engine=args.engine, jobs=args.jobs).run()
-        save_cell_results(results, args.out)
-        failed = [r for r in results if r["error"]]
-        print(
-            f"saved {len(results)} cell results to {args.out} "
-            f"({len(failed)} failed)"
+    if not args.out and not args.store:
+        raise SystemExit("campaign cells requires --out and/or --store")
+    if args.resume and args.fresh:
+        raise SystemExit("--resume and --fresh are mutually exclusive")
+    if (args.resume or args.fresh) and not args.store:
+        raise SystemExit("--resume/--fresh require --store")
+    if args.resume and not Path(args.store).exists():
+        raise SystemExit(
+            f"--resume: no store at {args.store} (run once without --resume first)"
         )
-        for row in failed:
-            print(f"FAILED {row['algorithm']} on {row['workload']}: {row['error']}")
-        return 1 if failed else 0
 
+    if args.algorithms or args.workloads or args.seeds is not None:
+        from repro import registry as algo_registry
+        from repro import workloads as workload_registry
+
+        cells = grid_cells(
+            algorithms=args.algorithms or algo_registry.names(),
+            workloads=args.workloads or workload_registry.names(),
+            seeds=args.seeds if args.seeds is not None else [0],
+        )
+    else:
+        cells = default_cells()
+
+    store = None
+    cache = None
+    try:
+        if args.store:
+            from repro.store import ExperimentStore, RunCache
+
+            store = ExperimentStore(args.store)
+            cache = RunCache(store, refresh=args.fresh)
+        results = CampaignRunner(
+            cells, engine=args.engine, jobs=_resolve_jobs(args), cache=cache
+        ).run()
+    finally:
+        if store is not None:
+            store.close()
+
+    failed = [r for r in results if r["error"]]
+    cached = sum(1 for r in results if r.get("cached"))
+    if args.out:
+        save_cell_results(results, args.out)
+        print(f"saved {len(results)} cell results to {args.out}")
+    if args.store:
+        print(
+            f"campaign: {len(results)} cells, {cached} from cache, "
+            f"{len(results) - cached} computed, {len(failed)} failed "
+            f"(store: {args.store})"
+        )
+    else:
+        print(f"completed {len(results)} cells ({len(failed)} failed)")
+    for row in failed:
+        print(f"FAILED {row['algorithm']} on {row['workload']}: {row['error']}")
+    return 1 if failed else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import (
+        compare_campaigns,
+        default_grid,
+        load_campaign,
+        save_campaign,
+    )
+
+    if args.action == "cells":
+        return _campaign_cells(args)
+
+    if args.action == "run" and not args.out:
+        raise SystemExit("campaign run requires --out")
+    if args.action == "check" and not args.baseline:
+        raise SystemExit("campaign check requires --baseline")
     with use_engine(args.engine):
         records = default_grid()
     if args.action == "run":
-        if not args.out:
-            raise SystemExit("campaign run requires --out")
         save_campaign(records, args.out)
         print(f"saved {len(records)} records to {args.out}")
         return 0
-    if not args.baseline:
-        raise SystemExit("campaign check requires --baseline")
     baseline = load_campaign(args.baseline)
     regressions = compare_campaigns(baseline, records)
     if regressions:
@@ -292,6 +350,103 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"REGRESSION {regression}")
         return 1
     print(f"no regressions across {len(records)} records")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro import workloads
+
+    specs = workloads.specs(family=args.family)
+    if not specs:
+        print("no workloads match the filter")
+        return 1
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "family": spec.family,
+                "seeded": spec.seeded,
+                "defaults": dict(spec.defaults),
+                "summary": spec.summary,
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        defaults = ", ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
+        seeded = "seeded" if spec.seeded else "deterministic"
+        print(f"{spec.name:<{width}}  [{spec.family}/{seeded}] {defaults}")
+        if args.verbose:
+            print(f"{'':<{width}}  {spec.summary}")
+    return 0
+
+
+def _open_store(path: str):
+    from repro.store import ExperimentStore
+
+    if not Path(path).exists():
+        raise SystemExit(
+            f"no experiment store at {path} "
+            f"(create one with: repro campaign cells --store {path})"
+        )
+    return ExperimentStore(path)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.store import stable_row
+
+    filters = {
+        "algorithm": args.algorithm,
+        "family": args.family,
+        "workload": args.workload,
+        "engine": args.query_engine,
+        "seed": args.seed,
+        "kind": args.kind,
+    }
+    with _open_store(args.store) as store:
+        rows = store.query(
+            include_errors=not args.no_errors,
+            **{k: v for k, v in filters.items() if v is not None},
+        )
+    if args.format == "json":
+        text = json.dumps([stable_row(r) for r in rows], indent=1, sort_keys=True)
+    elif args.format == "markdown":
+        from repro.analysis.tables import cell_rows_markdown
+
+        text = cell_rows_markdown(rows)
+    else:
+        from repro.analysis.tables import CELL_ROW_COLUMNS
+
+        header = " ".join(f"{c:>14}" for c in CELL_ROW_COLUMNS)
+        body = [
+            " ".join(f"{str(r.get(c, '')):>14}" for c in CELL_ROW_COLUMNS)
+            for r in rows
+        ]
+        text = "\n".join([header, *body, f"({len(rows)} rows)"])
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(rows)} rows to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_gc(args: argparse.Namespace) -> int:
+    import repro
+
+    with _open_store(args.store) as store:
+        before = len(store)
+        affected = store.gc(
+            keep_code_version=None if args.all_versions else repro.__version__,
+            drop_errors=not args.keep_errors,
+            dry_run=args.dry_run,
+        )
+        remaining = before - (0 if args.dry_run else affected)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {affected} of {before} rows ({remaining} remain)")
     return 0
 
 
@@ -326,6 +481,13 @@ def _int_list(raw: str) -> List[int]:
     return values
 
 
+def _str_list(raw: str) -> List[str]:
+    values = [part.strip() for part in raw.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one name")
+    return values
+
+
 def _positive_int(raw: str) -> int:
     value = int(raw)
     if value < 1:
@@ -333,10 +495,26 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _engine_name(raw: str) -> str:
+    """Validate an engine name against the live engine registry, with the
+    available choices in the error instead of a traceback."""
+    engines = available_engines()
+    if raw not in engines:
+        raise argparse.ArgumentTypeError(
+            f"unknown engine {raw!r}; available engines: {', '.join(engines)}"
+        )
+    return raw
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
 def _add_engine_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=available_engines(),
+        type=_engine_name,
+        metavar="{" + ",".join(available_engines()) + "}",
         default=None,
         help="execution engine for every simulated round (default: reference; "
         "vector is the CSR/event-driven engine, identical results, faster at scale)",
@@ -344,9 +522,15 @@ def _add_engine_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for multi-cell work (default 1 = inline)",
+        default=None,
+        help="worker processes for multi-cell work "
+        f"(default: one per CPU, {_default_jobs()} here)",
     )
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs is not None else _default_jobs()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -441,8 +625,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--out", help="where to save the campaign (run/cells)")
     campaign.add_argument("--baseline", help="baseline file to compare against (check)")
+    campaign.add_argument(
+        "--store",
+        help="experiment store (SQLite): cache hits skip recomputation and "
+        "every finished cell is persisted immediately (cells)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed campaign against an existing --store",
+    )
+    campaign.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore cached cells and overwrite them in --store",
+    )
+    campaign.add_argument(
+        "--algorithms",
+        type=_str_list,
+        default=None,
+        help="comma-separated algorithm names for the cell grid "
+        "(default: the compact builtin grid)",
+    )
+    campaign.add_argument(
+        "--workloads",
+        type=_str_list,
+        default=None,
+        help="comma-separated workload names for the cell grid",
+    )
+    campaign.add_argument(
+        "--seeds",
+        type=_int_list,
+        default=None,
+        help="comma-separated seeds for the cell grid, e.g. 0,1,2",
+    )
     _add_engine_jobs(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    workloads = sub.add_parser(
+        "workloads", help="list the declarative workload registry"
+    )
+    workloads.add_argument("--family", default=None, help="filter by family")
+    workloads.add_argument(
+        "--json", action="store_true", help="emit machine-readable spec JSON"
+    )
+    workloads.add_argument("-v", "--verbose", action="store_true")
+    workloads.set_defaults(func=cmd_workloads)
+
+    query = sub.add_parser(
+        "query", help="filter and print rows of an experiment store"
+    )
+    query.add_argument("--store", required=True, help="experiment store path")
+    query.add_argument("--algorithm", default=None)
+    query.add_argument("--family", default=None, help="algorithm family")
+    query.add_argument("--workload", default=None)
+    query.add_argument(
+        "--engine", dest="query_engine", default=None, help="filter by engine"
+    )
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument("--kind", default=None, help="output kind filter")
+    query.add_argument(
+        "--no-errors", action="store_true", help="exclude errored cells"
+    )
+    query.add_argument(
+        "--format",
+        choices=("table", "json", "markdown"),
+        default="table",
+        help="json is deterministic (stable columns, sorted keys) — "
+        "use it for resume/diff comparisons",
+    )
+    query.add_argument("--out", help="write the result to a file")
+    query.set_defaults(func=cmd_query)
+
+    gc = sub.add_parser(
+        "gc", help="drop unreachable experiment-store rows"
+    )
+    gc.add_argument("--store", required=True, help="experiment store path")
+    gc.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="keep rows from other code versions (only drop errors)",
+    )
+    gc.add_argument(
+        "--keep-errors", action="store_true", help="keep errored cells"
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    gc.set_defaults(func=cmd_gc)
 
     return parser
 

@@ -4,6 +4,14 @@ The paper's bounds are parameterized only by ``n``, the maximum degree
 ``Delta``, the arboricity ``a``, and (for bounded-diversity instances) the
 diversity ``D`` and clique size ``S``. These generators sweep exactly those
 parameters. All of them are deterministic given a seed.
+
+Randomness policy: every stochastic generator draws from a **locally
+seeded** :class:`random.Random` (via :func:`_rng`) or hands an explicit
+integer seed to networkx, which constructs its own local RNG. Nothing in
+this module touches the global ``random`` state, so graphs are
+reproducible regardless of what other code seeded globally — the
+seed-stability regression suite (``tests/graphs/test_generator_seeds.py``)
+pins the exact node/edge sets.
 """
 
 from __future__ import annotations
@@ -14,6 +22,11 @@ from typing import List, Optional
 import networkx as nx
 
 from repro.errors import InvalidParameterError
+
+
+def _rng(seed: int) -> random.Random:
+    """A private RNG for one generator call — never the global module."""
+    return random.Random(seed)
 
 
 def _relabel_to_ints(graph: nx.Graph) -> nx.Graph:
@@ -42,7 +55,7 @@ def random_tree(n: int, seed: int = 0) -> nx.Graph:
     if n <= 2:
         g = nx.path_graph(n)
         return g
-    rng = random.Random(seed)
+    rng = _rng(seed)
     prufer = [rng.randrange(n) for _ in range(n - 2)]
     return nx.from_prufer_sequence(prufer)
 
@@ -76,7 +89,7 @@ def star_forest_stack(n_centers: int, leaves_per_center: int, a: int, seed: int 
     n = n_centers * (1 + leaves_per_center)
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
-    rng = random.Random(seed)
+    rng = _rng(seed)
     nodes = list(range(n))
     for layer in range(a):
         rng.shuffle(nodes)
@@ -196,7 +209,7 @@ def random_bipartite_regular(n_each: int, d: int, seed: int = 0) -> nx.Graph:
     the realized Delta)."""
     if d > n_each:
         raise InvalidParameterError("d cannot exceed side size")
-    rng = random.Random(seed)
+    rng = _rng(seed)
     graph = nx.Graph()
     left = [("L", i) for i in range(n_each)]
     right = [("R", i) for i in range(n_each)]

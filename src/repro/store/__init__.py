@@ -1,0 +1,32 @@
+"""Experiment store: a content-addressed, resumable run cache.
+
+Public surface:
+
+* :class:`~repro.store.store.ExperimentStore` — SQLite-backed (WAL mode)
+  persistence for campaign cells: per-cell colors/rounds/wall-clock plus
+  verification verdicts (and message counts for runners that export
+  ``extra['messages']``; the column is NULL otherwise), keyed by
+  content-addressed run keys, with a filterable
+  :meth:`~repro.store.store.ExperimentStore.query` API and
+  :meth:`~repro.store.store.ExperimentStore.gc`.
+* :class:`~repro.store.cache.RunCache` — the front-end
+  :class:`~repro.analysis.campaign.CampaignRunner` consults so cache hits
+  short-circuit the process pool and killed campaigns resume where they
+  stopped.
+* :func:`~repro.store.keys.run_key` — ``sha256`` over the canonical JSON
+  of ``(algorithm, params, workload instance, seed, engine,
+  code_version)``.
+"""
+
+from repro.store.cache import RunCache
+from repro.store.keys import canonical_json, run_key
+from repro.store.store import STABLE_COLUMNS, ExperimentStore, stable_row
+
+__all__ = [
+    "ExperimentStore",
+    "RunCache",
+    "STABLE_COLUMNS",
+    "canonical_json",
+    "run_key",
+    "stable_row",
+]

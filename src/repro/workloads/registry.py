@@ -1,0 +1,210 @@
+"""The workload registry: specs, lookup, building, JSON round-trips."""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import InvalidParameterError
+
+#: Families a workload may belong to. ``custom`` is reserved for
+#: user-registered factories that do not declare one.
+FAMILIES = (
+    "random",
+    "regular",
+    "arboricity",
+    "diversity",
+    "topology",
+    "adversarial",
+    "custom",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Metadata + factory for one registered graph scenario.
+
+    ``defaults`` are the full parameterization — :func:`build` merges
+    overrides into them, so the *resolved* parameter set is always total
+    and content-addressed run keys are stable across spellings.
+    ``params`` lists the accepted keyword names (``None`` disables eager
+    validation for introspection-hostile custom factories). ``seeded``
+    marks whether the factory consumes a ``seed`` keyword; deterministic
+    topologies ignore seeds entirely.
+    """
+
+    name: str
+    family: str
+    summary: str
+    factory: Callable[..., nx.Graph] = field(repr=False)
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    params: Optional[Tuple[str, ...]] = None
+    seeded: bool = True
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
+    """Register ``spec``; re-registering the same factory is idempotent,
+    a different factory under an existing name is an error unless
+    ``replace`` is set (the legacy ``register_workload`` semantics)."""
+    if spec.family not in FAMILIES:
+        raise InvalidParameterError(
+            f"workload {spec.name!r}: unknown family {spec.family!r}; "
+            f"choose from {FAMILIES}"
+        )
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.factory is not spec.factory and not replace:
+        raise InvalidParameterError(f"workload {spec.name!r} registered twice")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register_factory(
+    name: str, factory: Callable[..., nx.Graph], replace: bool = True
+) -> WorkloadSpec:
+    """Register a bare factory (the legacy ``analysis.campaign`` surface).
+
+    Defaults, accepted parameters and seededness are introspected from the
+    factory signature; factories whose signature cannot be inspected skip
+    eager validation and rely on ``TypeError`` at build time.
+    """
+    seeded = True
+    defaults: Dict[str, Any] = {}
+    params: Optional[Tuple[str, ...]] = None
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        pass
+    else:
+        seeded = "seed" in signature.parameters
+        params = tuple(k for k in signature.parameters if k != "seed")
+        defaults = {
+            k: p.default
+            for k, p in signature.parameters.items()
+            if k != "seed" and p.default is not inspect.Parameter.empty
+        }
+    return register(
+        WorkloadSpec(
+            name=name,
+            family="custom",
+            summary="user-registered workload",
+            factory=factory,
+            defaults=defaults,
+            params=params,
+            seeded=seeded,
+        ),
+        replace=replace,
+    )
+
+
+def _ensure_loaded() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.workloads import builtin  # noqa: F401 - registers on import
+
+
+def get(name: str) -> WorkloadSpec:
+    """Resolve ``name`` to its spec, loading the builtin catalogue first."""
+    _ensure_loaded()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def specs(family: Optional[str] = None) -> List[WorkloadSpec]:
+    """All registered specs, optionally filtered by family, sorted by name."""
+    _ensure_loaded()
+    return [
+        spec
+        for _, spec in sorted(_REGISTRY.items())
+        if family is None or spec.family == family
+    ]
+
+
+def names(family: Optional[str] = None) -> List[str]:
+    """Sorted names of registered workloads, optionally filtered."""
+    return [spec.name for spec in specs(family=family)]
+
+
+def canonical_params(
+    name: str, params: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The *resolved* parameter set: spec defaults with ``params`` merged
+    in, after rejecting names the workload does not accept."""
+    spec = get(name)
+    overrides = dict(params or {})
+    if spec.params is not None:
+        unknown = set(overrides) - set(spec.params) - set(spec.defaults)
+        if unknown:
+            raise InvalidParameterError(
+                f"workload {name!r} rejected parameters {sorted(unknown)}; "
+                f"accepted: {sorted(set(spec.params) | set(spec.defaults))}"
+            )
+    merged = dict(spec.defaults)
+    merged.update(overrides)
+    return {k: merged[k] for k in sorted(merged)}
+
+
+def build(
+    name: str, params: Optional[Mapping[str, Any]] = None, seed: int = 0
+) -> nx.Graph:
+    """Instantiate workload ``name`` with ``params`` merged over its
+    defaults, under ``seed`` (ignored by unseeded workloads)."""
+    spec = get(name)
+    merged = canonical_params(name, params)
+    kwargs = dict(merged)
+    if spec.seeded:
+        kwargs["seed"] = seed
+    try:
+        return spec.factory(**kwargs)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"workload {name!r} rejected parameters {dict(params or {})!r}: {exc}"
+        ) from exc
+
+
+def canonical_instance(
+    name: str, params: Optional[Mapping[str, Any]] = None, seed: int = 0
+) -> Dict[str, Any]:
+    """The canonical description of one workload instance — the payload
+    content-addressed run keys hash. Parameters are fully resolved and
+    sorted; the seed is kept even for unseeded workloads so the
+    description stays uniform."""
+    return {
+        "workload": name,
+        "params": canonical_params(name, params),
+        "seed": int(seed),
+    }
+
+
+def to_json(
+    name: str, params: Optional[Mapping[str, Any]] = None, seed: int = 0
+) -> str:
+    """Serialize one workload instance to canonical (sorted-key) JSON."""
+    return json.dumps(
+        canonical_instance(name, params, seed), sort_keys=True, separators=(",", ":")
+    )
+
+
+def from_json(text: str) -> nx.Graph:
+    """Rebuild the graph a :func:`to_json` description denotes."""
+    try:
+        payload = json.loads(text)
+        name = payload["workload"]
+        params = payload.get("params", {})
+        seed = payload.get("seed", 0)
+    except (json.JSONDecodeError, TypeError, KeyError) as exc:
+        raise InvalidParameterError(f"malformed workload JSON: {exc}") from exc
+    return build(name, params, seed=seed)

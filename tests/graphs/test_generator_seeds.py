@@ -1,0 +1,89 @@
+"""Seed-stability regression suite for the stochastic generators.
+
+Every stochastic generator must route its randomness through a locally
+seeded RNG (``generators._rng`` or an explicit networkx seed), never the
+global ``random`` module. These tests pin the exact node/edge sets per
+(generator, seed) so any accidental reseeding, global-state dependence, or
+silent generator rewrite shows up as a fingerprint mismatch.
+
+The fingerprints are environment-pins: they encode the behavior of the
+installed Python/networkx. If a deliberate upgrade changes them, re-pin
+with the printout in the assertion message.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.graphs import generators
+
+
+def _fingerprint(graph) -> str:
+    payload = repr(
+        (
+            sorted(graph.nodes()),
+            sorted(tuple(sorted(edge)) for edge in graph.edges()),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+#: (factory taking only a seed) per stochastic generator.
+FACTORIES = {
+    "erdos_renyi": lambda seed: generators.erdos_renyi(32, 0.15, seed=seed),
+    "random_regular": lambda seed: generators.random_regular(24, 4, seed=seed),
+    "random_tree": lambda seed: generators.random_tree(32, seed=seed),
+    "forest_union": lambda seed: generators.forest_union(32, 3, seed=seed),
+    "star_forest_stack": lambda seed: generators.star_forest_stack(4, 6, 2, seed=seed),
+    "random_bipartite_regular": lambda seed: generators.random_bipartite_regular(
+        12, 3, seed=seed
+    ),
+}
+
+#: Pinned (seed=0, seed=1) fingerprints per generator.
+PINNED = {
+    "erdos_renyi": ("a5f9b87e4552cfab", "2a837a1c2d96407f"),
+    "random_regular": ("cdd45c664c834a06", "23b889d0b512442f"),
+    "random_tree": ("7bd1b33179805879", "0bff4725001f322b"),
+    "forest_union": ("447ca75c42a81479", "30e66583ddb74c10"),
+    "star_forest_stack": ("a5d8516c4126856d", "bd5804fc92410d60"),
+    "random_bipartite_regular": ("e32f5ca7b3ddf8e4", "f4568e59a038ada8"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestSeedStability:
+    def test_pinned_fingerprints(self, name):
+        factory = FACTORIES[name]
+        got = (_fingerprint(factory(0)), _fingerprint(factory(1)))
+        assert got == PINNED[name], (
+            f"{name}: node/edge sets drifted; if this was a deliberate "
+            f"generator or dependency change, re-pin to {got!r}"
+        )
+
+    def test_seeds_differ(self, name):
+        assert _fingerprint(FACTORIES[name](0)) != _fingerprint(FACTORIES[name](1))
+
+    def test_immune_to_global_random_state(self, name):
+        """Scrambling (and even reseeding) the global RNG between calls
+        must not change the generated graph — the generators own their
+        randomness."""
+        factory = FACTORIES[name]
+        state = random.getstate()
+        try:
+            random.seed(999)
+            first = _fingerprint(factory(7))
+            random.seed(123456)
+            random.random()
+            second = _fingerprint(factory(7))
+        finally:
+            random.setstate(state)
+        assert first == second
+
+    def test_global_state_untouched(self, name):
+        """Generators must not advance the global ``random`` stream."""
+        random.seed(42)
+        expected = random.Random(42).random()
+        FACTORIES[name](3)
+        assert random.random() == expected

@@ -72,3 +72,55 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "figure-1-clique-connector" in out
         assert "OK" in out
+
+
+class TestWorkloadsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "random-regular" in out and "power-law" in out
+        assert "[arboricity" in out
+
+    def test_family_filter(self, capsys):
+        assert main(["workloads", "--family", "adversarial"]) == 0
+        out = capsys.readouterr().out
+        assert "shared-cliques" in out and "random-regular" not in out
+
+    def test_no_match(self, capsys):
+        assert main(["workloads", "--family", "imaginary"]) == 1
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["workloads", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {spec["name"]: spec for spec in payload}
+        assert by_name["random-regular"]["defaults"] == {"n": 64, "d": 8}
+        assert by_name["torus"]["seeded"] is False
+
+
+class TestEngineJobsDefaults:
+    def test_unknown_engine_is_actionable(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithm", "greedy", "--engine", "warp-drive"])
+        err = capsys.readouterr().err
+        assert "unknown engine 'warp-drive'" in err
+        assert "reference" in err and "vector" in err
+
+    def test_jobs_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithm", "greedy", "--jobs", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_jobs_defaults_to_cpu_count(self):
+        import os
+
+        from repro.cli import _resolve_jobs, build_parser
+
+        args = build_parser().parse_args(["sweep", "--algorithm", "greedy"])
+        assert args.jobs is None
+        assert _resolve_jobs(args) == max(1, os.cpu_count() or 1)
+        args = build_parser().parse_args(
+            ["sweep", "--algorithm", "greedy", "--jobs", "3"]
+        )
+        assert _resolve_jobs(args) == 3

@@ -1,0 +1,146 @@
+"""The workload registry: specs, building, canonicalization, JSON
+round-trips, and the legacy analysis.campaign delegation."""
+
+import json
+
+import pytest
+
+from repro import workloads
+from repro.errors import InvalidParameterError
+from repro.graphs import max_degree
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = workloads.names()
+        assert {
+            "random-regular",
+            "erdos-renyi",
+            "star-forest-stack",
+            "power-law",
+            "geometric",
+            "forest-union",
+            "shared-cliques",
+            "fat-tree",
+        } <= set(names)
+        assert names == sorted(names)
+
+    def test_family_filter(self):
+        arboricity = workloads.names(family="arboricity")
+        assert "star-forest-stack" in arboricity
+        assert "random-regular" not in arboricity
+        for spec in workloads.specs(family="adversarial"):
+            assert spec.family == "adversarial"
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError, match="unknown workload"):
+            workloads.get("mobius-donut")
+
+    def test_every_builtin_builds_with_defaults(self):
+        for spec in workloads.specs():
+            graph = workloads.build(spec.name, seed=0)
+            assert graph.number_of_nodes() > 0, spec.name
+
+    def test_registering_same_name_twice_is_an_error(self):
+        spec = workloads.get("torus")
+        with pytest.raises(InvalidParameterError, match="registered twice"):
+            workloads.register(
+                workloads.WorkloadSpec(
+                    name="torus",
+                    family="topology",
+                    summary="imposter",
+                    factory=lambda: None,
+                    defaults={},
+                )
+            )
+        assert workloads.get("torus") is spec
+
+
+class TestBuild:
+    def test_overrides_merge_into_defaults(self):
+        graph = workloads.build("random-regular", {"n": 20})
+        assert graph.number_of_nodes() == 20
+        assert max_degree(graph) == 8  # the default d survived
+
+    def test_rejected_params(self):
+        with pytest.raises(InvalidParameterError, match="rejected parameters"):
+            workloads.build("random-regular", {"bogus": 5})
+
+    def test_seed_determinism(self):
+        g1 = workloads.build("erdos-renyi", {"n": 30, "p": 0.2}, seed=5)
+        g2 = workloads.build("erdos-renyi", {"n": 30, "p": 0.2}, seed=5)
+        g3 = workloads.build("erdos-renyi", {"n": 30, "p": 0.2}, seed=6)
+        assert set(g1.edges()) == set(g2.edges())
+        assert set(g1.edges()) != set(g3.edges())
+
+    def test_unseeded_workloads_ignore_seed(self):
+        g1 = workloads.build("planar-grid", seed=0)
+        g2 = workloads.build("planar-grid", seed=99)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_new_families_have_expected_shape(self):
+        hubs = workloads.build("power-law", {"n": 40, "attach": 2}, seed=1)
+        assert hubs.number_of_edges() == (40 - 2) * 2
+        gadget = workloads.build("shared-cliques")
+        assert gadget.degree[0] == 4 * 4  # num_cliques * (clique_size - 1)
+
+
+class TestCanonicalization:
+    def test_canonical_params_resolve_defaults(self):
+        assert workloads.canonical_params("random-regular") == {"d": 8, "n": 64}
+        assert workloads.canonical_params("random-regular", {"n": 16}) == {
+            "d": 8,
+            "n": 16,
+        }
+
+    def test_canonical_instance_sorted_and_total(self):
+        instance = workloads.canonical_instance("torus", {}, seed=3)
+        assert instance == {
+            "workload": "torus",
+            "params": {"cols": 8, "rows": 8},
+            "seed": 3,
+        }
+
+    def test_json_round_trip(self):
+        text = workloads.to_json("random-regular", {"n": 16, "d": 4}, seed=2)
+        payload = json.loads(text)
+        assert payload["workload"] == "random-regular"
+        graph = workloads.from_json(text)
+        direct = workloads.build("random-regular", {"n": 16, "d": 4}, seed=2)
+        assert set(graph.edges()) == set(direct.edges())
+
+    def test_malformed_json(self):
+        with pytest.raises(InvalidParameterError, match="malformed workload JSON"):
+            workloads.from_json("{not json")
+
+
+class TestLegacyDelegation:
+    def test_workloads_values_are_legacy_factories(self):
+        """The PR-1 contract: ``WORKLOADS[name]`` is a callable taking
+        ``(seed=..., **params)``, even for unseeded workloads."""
+        from repro.analysis.campaign import WORKLOADS
+
+        graph = WORKLOADS["random-regular"](n=16, d=4, seed=0)
+        assert graph.number_of_nodes() == 16
+        grid = WORKLOADS["planar-grid"](rows=2, cols=2, seed=99)
+        assert grid.number_of_nodes() == 4
+        assert "random-regular" in WORKLOADS
+        assert "mobius-donut" not in WORKLOADS
+        with pytest.raises(KeyError):
+            WORKLOADS["mobius-donut"]
+
+    def test_campaign_surface_shares_the_registry(self):
+        from repro.analysis import campaign
+
+        assert set(campaign.workload_names()) == set(workloads.names())
+        campaign.register_workload(
+            "test-legacy", lambda n=4, seed=0: workloads.build("planar-grid")
+        )
+        try:
+            assert "test-legacy" in workloads.names()
+            spec = workloads.get("test-legacy")
+            assert spec.family == "custom"
+            assert spec.defaults == {"n": 4}
+            assert campaign.build_workload("test-legacy", {}).number_of_nodes() == 64
+        finally:
+            campaign.WORKLOADS.pop("test-legacy", None)

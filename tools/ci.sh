@@ -21,3 +21,25 @@ print(f'{len(names)} algorithms registered')
 
 echo "== tier-1 pytest =="
 python -m pytest -x -q "$@"
+
+echo "== store smoke: run, kill, resume, compare =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_GRID=(--algorithms star4,star,thm52,forest,greedy
+            --workloads random-regular,star-forest-stack
+            --seeds 0,1,2 --jobs 2)
+# Start a campaign and SIGKILL it mid-flight; completed cells are already
+# durable in the store.
+timeout -s KILL 1 python -m repro campaign cells \
+  --store "$SMOKE_DIR/killed.db" "${SMOKE_GRID[@]}" >/dev/null 2>&1 || true
+# Resume the killed campaign, and run the same grid uninterrupted.
+python -m repro campaign cells --store "$SMOKE_DIR/killed.db" --resume \
+  "${SMOKE_GRID[@]}" | tail -1
+python -m repro campaign cells --store "$SMOKE_DIR/clean.db" \
+  "${SMOKE_GRID[@]}" >/dev/null
+# The resumed store must be byte-identical to the uninterrupted one on the
+# deterministic column set.
+python -m repro query --store "$SMOKE_DIR/killed.db" --format json --out "$SMOKE_DIR/killed.json" >/dev/null
+python -m repro query --store "$SMOKE_DIR/clean.db" --format json --out "$SMOKE_DIR/clean.json" >/dev/null
+cmp "$SMOKE_DIR/killed.json" "$SMOKE_DIR/clean.json"
+echo "resumed campaign is byte-identical to an uninterrupted run"
