@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Benchmark: the streaming campaign executor — overhead and kill-loss.
+
+Two gates, recorded in ``BENCH_stream.json``:
+
+* **overhead** — the windowed ``as_completed`` stream (bounded in-flight
+  submission, per-future recording hooks) must not cost more than
+  ``--max-overhead`` x the raw ``pool.map`` fan-out it replaced, over an
+  all-fast-cell grid where scheduling overhead is the whole story.
+
+* **kill-loss** — a ``--jobs N --store`` campaign with an artificially
+  slow head cell is SIGKILLed once every fast cell has *completed*; at
+  most the in-flight cells (<= jobs) may be missing from the store. The
+  old ``pool.map`` executor buffered every completed cell behind the
+  slow head (head-of-line ordering), so nothing was durable at the kill
+  — this gate times out waiting for the first durable row and fails.
+  The killed store is then resumed and byte-compared (stable columns)
+  against an uninterrupted run.
+
+The kill phase runs ``tools/stream_kill_driver.py`` in a subprocess (the
+same driver the ``tools/ci.sh`` streaming smoke uses). Its head cell
+blocks while a flag file exists, so the kill point is deterministic
+without wall-clock guesses: the benchmark removes the flag before the
+resume/clean runs and the head cell computes instantly, keeping every
+recorded row identical across phases.
+
+Run:  PYTHONPATH=src python benchmarks/bench_stream.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List
+
+from repro.analysis.campaign import CampaignCell, CampaignRunner, _execute_cell
+from repro.store import ExperimentStore, stable_row
+
+JOBS = 4
+FAST_CELLS = 24
+
+_REPO = Path(__file__).resolve().parent.parent
+#: The kill/resume subprocess driver shared with the tools/ci.sh smoke.
+DRIVER = _REPO / "tools" / "stream_kill_driver.py"
+
+
+def overhead_pass(cells: List[CampaignCell], jobs: int):
+    """Time the streaming executor against the raw pool.map it replaced."""
+    runner = CampaignRunner(cells, jobs=jobs)
+    payloads = [runner._payload(cell) for cell in cells]
+
+    started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        map_rows = list(pool.map(_execute_cell, payloads))
+    map_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    stream_rows = runner.run()
+    stream_s = time.perf_counter() - started
+
+    assert [r["error"] for r in map_rows] == [r["error"] for r in stream_rows]
+    return map_s, stream_s
+
+
+def _store_rows(path: Path) -> int:
+    if not path.exists():
+        return 0
+    with ExperimentStore(path) as store:
+        return len(store)
+
+
+def kill_loss_pass(tmp: Path, timeout_s: float):
+    """Run the driver, SIGKILL it once every fast cell is durable, then
+    resume and compare against an uninterrupted run."""
+    killed_db = tmp / "killed.db"
+    clean_db = tmp / "clean.db"
+    flag = tmp / "flag"
+    args = [sys.executable, str(DRIVER)]
+    src = str(_REPO / "src")
+    existing = os.environ.get("PYTHONPATH")
+    env = dict(
+        os.environ,
+        PYTHONPATH=f"{src}{os.pathsep}{existing}" if existing else src,
+    )
+
+    flag.touch()
+    # Own session/process group, so the SIGKILL takes the forked pool
+    # workers down with the driver instead of orphaning them on the
+    # executor's call queue.
+    proc = subprocess.Popen(
+        args + [str(killed_db), str(flag), str(JOBS), str(FAST_CELLS)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + timeout_s
+    recorded = 0
+    try:
+        while time.monotonic() < deadline:
+            recorded = _store_rows(killed_db)
+            if recorded >= FAST_CELLS:
+                break
+            time.sleep(0.1)
+    finally:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+    flag.unlink()
+    # every fast cell had completed when the poll loop exited; only the
+    # in-flight window (here: the blocked head cell's worker) may be lost
+    loss = FAST_CELLS - recorded
+
+    resume = subprocess.run(
+        args + [str(killed_db), str(flag), str(JOBS), str(FAST_CELLS)], env=env
+    )
+    clean = subprocess.run(
+        args + [str(clean_db), str(flag), str(JOBS), str(FAST_CELLS)], env=env
+    )
+    assert resume.returncode == 0 and clean.returncode == 0
+
+    with ExperimentStore(killed_db) as a, ExperimentStore(clean_db) as b:
+        resumed_rows = [stable_row(r) for r in a.query()]
+        clean_rows = [stable_row(r) for r in b.query()]
+    identical = json.dumps(resumed_rows, sort_keys=True) == json.dumps(
+        clean_rows, sort_keys=True
+    )
+    return recorded, loss, identical
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-overhead", type=float, default=1.5,
+                        help="streaming may cost at most this multiple of pool.map")
+    parser.add_argument("--overhead-slack-s", type=float, default=0.75,
+                        help="absolute slack added to the overhead gate")
+    parser.add_argument("--kill-timeout-s", type=float, default=120.0,
+                        help="how long to wait for every fast cell to be durable")
+    parser.add_argument("--out", default="BENCH_stream.json")
+    args = parser.parse_args()
+
+    overhead_cells = [
+        CampaignCell("greedy", "random-regular", {"n": 32, "d": 6}, seed=s)
+        for s in range(48)
+    ]
+    map_s, stream_s = overhead_pass(overhead_cells, jobs=2)
+    overhead_ratio = stream_s / map_s if map_s > 0 else float("inf")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        recorded, loss, identical = kill_loss_pass(
+            Path(tmp), timeout_s=args.kill_timeout_s
+        )
+
+    payload = {
+        "benchmark": "stream",
+        "jobs": JOBS,
+        "fast_cells": FAST_CELLS,
+        "overhead_cells": len(overhead_cells),
+        "pool_map_s": round(map_s, 4),
+        "streaming_s": round(stream_s, 4),
+        "overhead_ratio": round(overhead_ratio, 2),
+        "max_overhead": args.max_overhead,
+        "durable_rows_at_kill": recorded,
+        "kill_loss": loss,
+        "kill_loss_budget": JOBS,
+        "resumed_byte_identical": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    print(json.dumps(payload, indent=1))
+
+    if loss > JOBS:
+        print(
+            f"FAIL: {loss} completed cells lost at SIGKILL "
+            f"(> {JOBS} in-flight budget; 0 durable rows means no "
+            "incremental recording at all)",
+            file=sys.stderr,
+        )
+        return 1
+    if not identical:
+        print("FAIL: resumed store differs from uninterrupted run", file=sys.stderr)
+        return 1
+    if stream_s > map_s * args.max_overhead + args.overhead_slack_s:
+        print(
+            f"FAIL: streaming {stream_s:.2f}s vs pool.map {map_s:.2f}s "
+            f"exceeds {args.max_overhead:.1f}x + {args.overhead_slack_s:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: overhead {overhead_ratio:.2f}x, kill-loss {loss} <= {JOBS}, "
+        "resume byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

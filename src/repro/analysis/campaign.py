@@ -14,11 +14,19 @@ Two layers:
 * The *cell* campaign (:class:`CampaignRunner`): every cell is one
   ``(algorithm x workload x seed)`` triple resolved through
   :mod:`repro.registry`, executed under a per-cell engine choice (see
-  :mod:`repro.engine`) and fanned across ``--jobs`` worker processes.
+  :mod:`repro.engine`) and streamed across ``--jobs`` worker processes.
   Results are structured JSON rows — wall-clock, colors, rounds, messages
   — that tables and plots consume uniformly::
 
       python -m repro campaign cells --engine vector --jobs 8 --out cells.json
+
+  The executor is a *windowed* ``as_completed`` stream: at most a bounded
+  number of payloads/futures exist at any moment (a 100k-cell grid never
+  materializes in memory), every resolved cell is handed to the attached
+  :class:`~repro.store.RunCache` the instant its future completes (so a
+  SIGKILL loses at most the in-flight window), transient failures are
+  retried per cell, and a ``BrokenProcessPool`` costs only the in-flight
+  cells — the pool is rebuilt and the campaign resumes.
 """
 
 from __future__ import annotations
@@ -27,10 +35,22 @@ import json
 import platform
 import time
 from collections.abc import MutableMapping
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import networkx as nx
 
@@ -227,14 +247,10 @@ class CampaignCell:
         return f"{self.algorithm}|{self.workload}({wp})|seed={self.seed}|{ap}"
 
 
-def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: build the graph, run through the registry under
-    the requested engine, verify, and report one structured row. Errors are
-    isolated per cell — a failing cell never takes the campaign down."""
-    from repro import registry
-    from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
-
-    row: Dict[str, Any] = {
+def _row_base(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The payload-echo header every campaign row starts from — computed
+    rows and synthesized error rows share one schema by construction."""
+    return {
         "algorithm": payload["algorithm"],
         "workload": payload["workload"],
         "workload_params": dict(payload["workload_params"]),
@@ -242,6 +258,16 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         "algo_params": dict(payload["algo_params"]),
         "engine": payload["engine"],
     }
+
+
+def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: build the graph, run through the registry under
+    the requested engine, verify, and report one structured row. Errors are
+    isolated per cell — a failing cell never takes the campaign down."""
+    from repro import registry
+    from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
+
+    row: Dict[str, Any] = _row_base(payload)
     try:
         graph = build_workload(
             payload["workload"], payload["workload_params"], seed=payload["seed"]
@@ -279,20 +305,108 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     return row
 
 
+def _error_row(payload: Dict[str, Any], message: str) -> Dict[str, Any]:
+    """The row shape :func:`_execute_cell` produces for a cell that never
+    yielded a result at all (worker process died, result undeliverable)."""
+    return dict(_row_base(payload), error=message)
+
+
+@dataclass
+class CampaignProgress:
+    """Live counters of a streaming campaign, handed to the ``progress``
+    callback after every resolved cell (cache hit, computed row, retry).
+
+    ``done = hits + computed``; ``hits`` counts cells served without
+    executing (store hits and in-run duplicates of an already-executed
+    key); ``errors`` counts computed rows whose final attempt still
+    failed; ``retried`` counts re-submissions. ``elapsed_s`` measures
+    from the start of *computing* — the clock re-anchors while hits are
+    being served — so ``eta_s``, which extrapolates the per-computed-cell
+    rate over the remaining cells, is not inflated by a long warm-resume
+    hit scan; it is ``None`` until the first computed cell lands. The
+    callback receives the same (mutated) instance each time — treat it
+    as read-only.
+    """
+
+    total: int
+    done: int = 0
+    hits: int = 0
+    computed: int = 0
+    errors: int = 0
+    retried: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        if self.computed <= 0:
+            return None
+        return (self.elapsed_s / self.computed) * (self.total - self.done)
+
+
+class _ProgressTracker:
+    """Owns one :class:`CampaignProgress` and pushes it to the callback."""
+
+    def __init__(self, callback: Optional[Callable[[CampaignProgress], None]], total: int):
+        self._callback = callback
+        self._started = time.monotonic()
+        self.progress = CampaignProgress(total=total)
+
+    def hit(self) -> None:
+        self.progress.done += 1
+        self.progress.hits += 1
+        if self.progress.computed == 0:
+            # still serving hits — anchor the ETA clock at compute start
+            self._started = time.monotonic()
+        self._emit()
+
+    def computed(self, row: Mapping[str, Any]) -> None:
+        self.progress.done += 1
+        self.progress.computed += 1
+        if row.get("error"):
+            self.progress.errors += 1
+        self._emit()
+
+    def retried(self) -> None:
+        self.progress.retried += 1
+        self._emit()
+
+    def _emit(self) -> None:
+        if self._callback is None:
+            return
+        self.progress.elapsed_s = time.monotonic() - self._started
+        self._callback(self.progress)
+
+
 class CampaignRunner:
-    """Fan registered (algorithm x workload x seed) cells across a process
-    pool with per-cell engine selection and an optional run cache.
+    """Stream registered (algorithm x workload x seed) cells across a
+    process pool with per-cell engine selection and an optional run cache.
 
     ``engine`` is the default for cells that do not pin one; ``jobs`` is
     the worker-process count (1 = run inline, no pool). Results come back
     in cell order regardless of completion order.
 
+    The pool path is a windowed ``as_completed`` stream: at most
+    ``window`` payloads/futures (default ``2 * jobs``) are in flight, so
+    arbitrarily large grids run in bounded memory. A cell whose final
+    attempt errored gets an error row; ``retries`` extra attempts are
+    made first (transient failures heal, deterministic ones just repeat).
+    A ``BrokenProcessPool`` (worker SIGKILLed, OOM, segfault) costs only
+    the in-flight cells: each gets one requeue (more with ``retries``)
+    on a fresh pool before an error row is recorded, and the campaign
+    continues instead of aborting.
+
     With a :class:`~repro.store.RunCache` attached, cells whose
     content-addressed key is already in the store are served from SQLite
     without touching the pool, and every freshly-computed cell is recorded
-    the moment its result arrives — killing the process mid-campaign loses
-    at most the in-flight cells, and rerunning the same command finishes
-    the rest. Cached rows carry ``cached=True`` and their ``run_key``.
+    the instant its future resolves — regardless of cell order, so killing
+    the process mid-campaign loses at most the in-flight window, and
+    rerunning the same command finishes the rest. Cells that resolve to
+    the same run key (an unseeded workload swept across seeds) execute
+    once and share the computed row. Cached rows carry ``cached=True``
+    and their ``run_key``.
+
+    ``progress`` is an optional callback receiving a
+    :class:`CampaignProgress` snapshot after every resolved cell.
     """
 
     def __init__(
@@ -302,86 +416,283 @@ class CampaignRunner:
         jobs: int = 1,
         verify: bool = True,
         cache: Optional[RunCache] = None,
+        retries: int = 0,
+        window: Optional[int] = None,
+        progress: Optional[Callable[[CampaignProgress], None]] = None,
     ):
         if jobs < 1:
             raise InvalidParameterError("jobs must be >= 1")
+        if retries < 0:
+            raise InvalidParameterError("retries must be >= 0")
+        if window is not None and window < 1:
+            raise InvalidParameterError("window must be >= 1")
         self.cells = list(cells)
         self.engine = engine
         self.jobs = jobs
         self.verify = verify
         self.cache = cache
+        self.retries = retries
+        self.window = window
+        self.progress = progress
+        #: Final counters of the most recent :meth:`run` (hit/computed/
+        #: error totals where in-run duplicates count as hits) — the
+        #: consistent source for summary lines.
+        self.last_progress: Optional[CampaignProgress] = None
 
-    def _payloads(self) -> List[Dict[str, Any]]:
-        return [
-            {
-                "algorithm": cell.algorithm,
-                "workload": cell.workload,
-                "workload_params": dict(cell.workload_params),
-                "seed": cell.seed,
-                "algo_params": dict(cell.algo_params),
-                "engine": cell.engine or self.engine,
-                "verify": self.verify,
-            }
-            for cell in self.cells
-        ]
+    def _payload(self, cell: CampaignCell, engine: Optional[str] = None) -> Dict[str, Any]:
+        return {
+            "algorithm": cell.algorithm,
+            "workload": cell.workload,
+            "workload_params": dict(cell.workload_params),
+            "seed": cell.seed,
+            "algo_params": dict(cell.algo_params),
+            "engine": engine if engine is not None else (cell.engine or self.engine),
+            "verify": self.verify,
+        }
 
     def run(self) -> List[Dict[str, Any]]:
-        payloads = self._payloads()
-        if self.cache is not None:
-            return self._run_cached(payloads)
-        if self.jobs == 1 or len(payloads) <= 1:
-            return [_execute_cell(p) for p in payloads]
-        workers = min(self.jobs, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_cell, payloads))
+        # One identity plan serves both modes: cells resolving to the
+        # same content address — an unseeded workload swept across seeds
+        # — execute once and share the row, and every row carries the
+        # key-normalized seed, so cached and uncached runs of one grid
+        # agree on every identity field. With a cache, the engine is
+        # additionally pinned to an explicit name so the executed engine
+        # and the one folded into the run key cannot drift, hits are
+        # served from the store, and computed rows are recorded the
+        # instant they arrive.
+        from repro.store.keys import run_key
 
-    def _run_cached(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        from repro.engine import current_engine_name
+        cache = self.cache
+        default_engine = self.engine
+        if cache is not None:
+            from repro.engine import current_engine_name
 
-        # Pin every payload to an explicit engine name so the executed
-        # engine and the one folded into the run key cannot drift.
-        for payload in payloads:
-            payload["engine"] = payload["engine"] or current_engine_name()
-
-        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+            default_engine = self.engine or current_engine_name()
+        total = len(self.cells)
+        results: List[Optional[Dict[str, Any]]] = [None] * total
+        tracker = _ProgressTracker(self.progress, total=total)
+        engines: List[Optional[str]] = []
         keys: List[Optional[str]] = []
+        seeds: List[int] = []
         miss_indices: List[int] = []
-        for index, (cell, payload) in enumerate(zip(self.cells, payloads)):
+        primary_by_key: Dict[str, int] = {}
+        duplicates: Dict[int, List[int]] = {}
+        for index, cell in enumerate(self.cells):
+            engine = cell.engine or default_engine
+            engines.append(engine)
             try:
-                key = self.cache.key_for(cell, engine=payload["engine"])
+                if cache is not None:
+                    key = cache.key_for(cell, engine=engine)
+                else:
+                    key = run_key(
+                        algorithm=cell.algorithm,
+                        algo_params=cell.algo_params,
+                        workload=cell.workload,
+                        workload_params=cell.workload_params,
+                        seed=cell.seed,
+                        engine=engine,
+                    )
+                seed = _workloads.normalized_seed(cell.workload, cell.seed)
             except Exception:  # noqa: BLE001 - per-cell isolation: an
                 # unaddressable cell (unknown workload, bad params) still
                 # executes so its error lands in a row, not an exception.
                 keys.append(None)
+                seeds.append(cell.seed)
                 miss_indices.append(index)
                 continue
             keys.append(key)
-            hit = self.cache.get(key)
+            seeds.append(seed)
+            hit = cache.get(key) if cache is not None else None
             if hit is not None:
                 results[index] = hit
+                tracker.hit()
+            elif key in primary_by_key:
+                # The same computation is already scheduled this run:
+                # share its row instead of recomputing.
+                duplicates.setdefault(primary_by_key[key], []).append(index)
             else:
+                primary_by_key[key] = index
                 miss_indices.append(index)
 
-        def _record(index: int, row: Dict[str, Any]) -> None:
-            row = dict(row, cached=False, run_key=keys[index])
-            if keys[index] is not None:
-                self.cache.record(
-                    keys[index], row, family=_algorithm_family(row["algorithm"])
-                )
+        def on_row(index: int, row: Dict[str, Any]) -> None:
+            if cache is not None:
+                row = dict(row, seed=seeds[index], cached=False, run_key=keys[index])
+                if keys[index] is not None:
+                    cache.record(
+                        keys[index],
+                        row,
+                        family=_algorithm_family(row["algorithm"]),
+                        engine=engines[index],
+                    )
+            else:
+                row = dict(row, seed=seeds[index])
             results[index] = row
+            tracker.computed(row)
+            for dup in duplicates.get(index, ()):
+                results[dup] = dict(row)
+                tracker.hit()  # shared, not re-executed
 
-        miss_payloads = [payloads[i] for i in miss_indices]
-        if self.jobs == 1 or len(miss_payloads) <= 1:
-            for index, payload in zip(miss_indices, miss_payloads):
-                _record(index, _execute_cell(payload))
-        else:
-            workers = min(self.jobs, len(miss_payloads))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for index, row in zip(
-                    miss_indices, pool.map(_execute_cell, miss_payloads)
-                ):
-                    _record(index, row)
+        tasks = (
+            (index, self._payload(self.cells[index], engine=engines[index]))
+            for index in miss_indices
+        )
+        self._stream(tasks, len(miss_indices), on_row, tracker)
+        self.last_progress = tracker.progress
         return results  # type: ignore[return-value]
+
+    # -- the streaming executor -------------------------------------------
+
+    def _stream(
+        self,
+        tasks: Iterator[Tuple[int, Dict[str, Any]]],
+        count: int,
+        on_row: Callable[[int, Dict[str, Any]], None],
+        tracker: _ProgressTracker,
+    ) -> None:
+        """Execute ``count`` lazily-built ``(index, payload)`` tasks,
+        calling ``on_row`` the instant each cell's final row is available
+        (completion order, not cell order — callers index by ``index``)."""
+        tasks = iter(tasks)
+        if self.jobs == 1 or count <= 1:
+            for index, payload in tasks:
+                on_row(index, self._execute_inline(payload, tracker))
+            return
+
+        window = self.window or max(2 * self.jobs, 2)
+        workers = min(self.jobs, count)
+        # In-flight bookkeeping: (index, payload, attempt, breaks), where
+        # ``attempt`` counts error retries and ``breaks`` counts pool-break
+        # requeues — separate budgets, so a cell that spent its retries on
+        # an ordinary failure still gets its crash requeue (and its real
+        # error message is never masked by a BrokenProcessPool row).
+        Entry = Tuple[int, Dict[str, Any], int, int]
+        pending: Dict[Future, Entry] = {}
+        backlog: List[Entry] = []
+        # Cells swept up by a BrokenProcessPool re-run one at a time with
+        # nothing else in flight: an innocent bystander completes solo,
+        # while a poison cell (it keeps killing workers) can only take
+        # itself down, so its requeue budget bounds the pool rebuilds.
+        quarantine: List[Entry] = []
+        exhausted = False
+        solo = False  # a quarantined cell is in flight, alone by design
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while True:
+                while len(pending) < window:
+                    if solo:
+                        break
+                    if quarantine:
+                        entry = quarantine.pop()
+                        try:
+                            pending[pool.submit(_execute_cell, entry[1])] = entry
+                        except BrokenProcessPool:
+                            # The entry never ran (no budget charge); the
+                            # pool broke between waits. Quarantine submits
+                            # happen with nothing else in flight, so swap
+                            # the pool and retry.
+                            quarantine.append(entry)
+                            pool.shutdown(wait=False)
+                            pool = ProcessPoolExecutor(max_workers=workers)
+                            continue
+                        solo = True
+                        break
+                    if backlog:
+                        entry = backlog.pop()
+                    elif not exhausted:
+                        try:
+                            index, payload = next(tasks)
+                        except StopIteration:
+                            exhausted = True
+                            continue
+                        entry = (index, payload, 0, 0)
+                    else:
+                        break
+                    try:
+                        pending[pool.submit(_execute_cell, entry[1])] = entry
+                    except BrokenProcessPool:
+                        # Never ran, so no budget charge. With futures in
+                        # flight, fall through: draining them surfaces the
+                        # break and the pool_broken path rebuilds; with
+                        # nothing in flight, rebuild here and keep going.
+                        backlog.append(entry)
+                        if pending:
+                            break
+                        pool.shutdown(wait=False)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                if not pending:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    index, payload, attempt, breaks = pending.pop(future)
+                    try:
+                        row = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        self._requeue_or_fail(
+                            (index, payload, attempt, breaks),
+                            quarantine, on_row, tracker,
+                        )
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - a cell whose
+                        # result cannot come back (unpicklable, worker lost)
+                        # becomes an error row, never a campaign abort.
+                        row = _error_row(payload, f"{type(exc).__name__}: {exc}")
+                    if row.get("error") and attempt < self.retries:
+                        tracker.retried()
+                        backlog.append((index, payload, attempt + 1, breaks))
+                    else:
+                        on_row(index, row)
+                if pool_broken:
+                    # The executor is unusable; anything still pending is
+                    # lost with it. Quarantine (or fail) those cells and
+                    # resume on a fresh pool — in-flight cells are the
+                    # only casualties.
+                    for entry in pending.values():
+                        self._requeue_or_fail(entry, quarantine, on_row, tracker)
+                    pending.clear()
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                if not pending:
+                    solo = False
+        finally:
+            pool.shutdown(wait=True)
+
+    def _execute_inline(
+        self, payload: Dict[str, Any], tracker: _ProgressTracker
+    ) -> Dict[str, Any]:
+        row = _execute_cell(payload)
+        attempt = 0
+        while row.get("error") and attempt < self.retries:
+            attempt += 1
+            tracker.retried()
+            row = _execute_cell(payload)
+        return row
+
+    def _requeue_or_fail(
+        self,
+        entry: Tuple[int, Dict[str, Any], int, int],
+        quarantine: List[Tuple[int, Dict[str, Any], int, int]],
+        on_row: Callable[[int, Dict[str, Any]], None],
+        tracker: _ProgressTracker,
+    ) -> None:
+        """A cell lost to a broken pool gets at least one solo requeue (it
+        is usually an innocent bystander of another cell's crash); a cell
+        that keeps killing workers exhausts its break budget — counted
+        apart from ordinary error retries — and becomes an error row, so
+        one poison cell cannot wedge the campaign."""
+        index, payload, attempt, breaks = entry
+        if breaks < max(self.retries, 1):
+            tracker.retried()
+            quarantine.append((index, payload, attempt, breaks + 1))
+        else:
+            on_row(
+                index,
+                _error_row(
+                    payload,
+                    "BrokenProcessPool: worker process died while running this cell",
+                ),
+            )
 
 
 def _algorithm_family(name: str) -> Optional[str]:

@@ -14,10 +14,13 @@ Subcommands:
 * ``sweep`` — a Delta ladder for one algorithm across random regular
   graphs, with per-point engine/jobs control.
 * ``campaign`` — ``run``/``check`` persist and diff the table-reproduction
-  record grid; ``cells`` fans the (algorithm x workload x seed) cell grid
-  across a process pool, optionally against a content-addressed experiment
-  store (``--store runs.db``) so already-computed cells are served from
-  SQLite and a killed campaign resumes with ``--resume``.
+  record grid; ``cells`` streams the (algorithm x workload x seed) cell
+  grid across a process pool with bounded in-flight submission, optionally
+  against a content-addressed experiment store (``--store runs.db``) that
+  persists every cell the instant it completes, so already-computed cells
+  are served from SQLite and a killed campaign resumes with ``--resume``.
+  ``--retries N`` re-runs failing cells, ``--progress`` repaints a stderr
+  status line (done/total, hit/miss/error counts, ETA).
 * ``workloads`` — the declarative workload registry: every named graph
   scenario with its family and default parameters.
 * ``query`` — filter and print rows of an experiment store.
@@ -258,6 +261,36 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(min_interval_s: float = 0.1):
+    """A ``CampaignRunner`` progress callback that repaints one stderr
+    status line (cells done/total, hit/computed/error counts, ETA).
+
+    Repaints are rate-limited to one per ``min_interval_s`` (the final
+    snapshot always prints), so an all-hits warm run over a 100k-cell
+    grid is not dominated by flushed terminal writes."""
+    import time
+
+    last = [0.0]
+
+    def emit(progress) -> None:
+        now = time.monotonic()
+        if progress.done < progress.total and now - last[0] < min_interval_s:
+            return
+        last[0] = now
+        eta = progress.eta_s
+        eta_text = f" eta={eta:.0f}s" if eta is not None else ""
+        print(
+            f"\r[{progress.done}/{progress.total}] hits={progress.hits} "
+            f"computed={progress.computed} errors={progress.errors} "
+            f"retried={progress.retried}{eta_text} ",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return emit
+
+
 def _campaign_cells(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import (
         CampaignRunner,
@@ -283,7 +316,14 @@ def _campaign_cells(args: argparse.Namespace) -> int:
 
         cells = grid_cells(
             algorithms=args.algorithms or algo_registry.names(),
-            workloads=args.workloads or workload_registry.names(),
+            # The scale tier (>= 50k-node instances) only runs when named
+            # explicitly — the unfiltered default grid must stay cheap.
+            workloads=args.workloads
+            or [
+                spec.name
+                for spec in workload_registry.specs()
+                if spec.family != "scale"
+            ],
             seeds=args.seeds if args.seeds is not None else [0],
         )
     else:
@@ -297,22 +337,32 @@ def _campaign_cells(args: argparse.Namespace) -> int:
 
             store = ExperimentStore(args.store)
             cache = RunCache(store, refresh=args.fresh)
-        results = CampaignRunner(
-            cells, engine=args.engine, jobs=_resolve_jobs(args), cache=cache
-        ).run()
+        runner = CampaignRunner(
+            cells,
+            engine=args.engine,
+            jobs=_resolve_jobs(args),
+            cache=cache,
+            retries=args.retries,
+            progress=_progress_printer() if args.progress else None,
+        )
+        results = runner.run()
     finally:
         if store is not None:
             store.close()
+        if args.progress:
+            print(file=sys.stderr)
 
     failed = [r for r in results if r["error"]]
-    cached = sum(1 for r in results if r.get("cached"))
+    # runner counters, so the summary agrees with --progress: in-run
+    # duplicates (one computation shared across cells) count as hits
+    served = runner.last_progress.hits
     if args.out:
         save_cell_results(results, args.out)
         print(f"saved {len(results)} cell results to {args.out}")
     if args.store:
         print(
-            f"campaign: {len(results)} cells, {cached} from cache, "
-            f"{len(results) - cached} computed, {len(failed)} failed "
+            f"campaign: {len(results)} cells, {served} from cache, "
+            f"{len(results) - served} computed, {len(failed)} failed "
             f"(store: {args.store})"
         )
     else:
@@ -436,17 +486,34 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_gc(args: argparse.Namespace) -> int:
     import repro
+    from repro import workloads
 
+    # Migration: run keys normalize the seed of unseeded (deterministic-
+    # topology) workloads to 0. Rows such workloads stored under nonzero
+    # seeds predate that normalization and can never be addressed again,
+    # so gc treats them like rows from a stale code version.
+    unseeded = [spec.name for spec in workloads.specs() if not spec.seeded]
     with _open_store(args.store) as store:
         before = len(store)
+        stale_seeds = store.gc(
+            unseeded_workloads=unseeded, drop_errors=False, dry_run=True
+        )
         affected = store.gc(
             keep_code_version=None if args.all_versions else repro.__version__,
             drop_errors=not args.keep_errors,
             dry_run=args.dry_run,
+            unseeded_workloads=unseeded,
         )
         remaining = before - (0 if args.dry_run else affected)
     verb = "would delete" if args.dry_run else "deleted"
     print(f"{verb} {affected} of {before} rows ({remaining} remain)")
+    if stale_seeds:
+        print(
+            f"note: {stale_seeds} rows held unseeded workloads under a "
+            "nonzero seed — unreachable since run keys normalized those "
+            "seeds to 0 (pre-normalization stores recomputed identical "
+            "deterministic topologies once per seed)"
+        )
     return 0
 
 
@@ -492,6 +559,15 @@ def _positive_int(raw: str) -> int:
     value = int(raw)
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    return value
+
+
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {raw!r}"
+        )
     return value
 
 
@@ -651,7 +727,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads",
         type=_str_list,
         default=None,
-        help="comma-separated workload names for the cell grid",
+        help="comma-separated workload names for the cell grid (default: "
+        "every registered workload except the scale family, which only "
+        "runs when named explicitly)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        help="re-execute a failing cell up to N extra times before "
+        "recording its error row (transient failures heal; deterministic "
+        "ones just repeat)",
+    )
+    campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help="repaint a stderr status line per resolved cell: "
+        "done/total, hit/computed/error counts, ETA (cells)",
     )
     campaign.add_argument(
         "--seeds",

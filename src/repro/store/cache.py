@@ -1,10 +1,12 @@
 """RunCache: the campaign-facing front-end of the experiment store.
 
 :class:`~repro.analysis.campaign.CampaignRunner` consults a ``RunCache``
-before fanning cells out: hits come straight from SQLite (short-circuiting
-the process pool), misses execute and are recorded incrementally as each
-result arrives — which is what makes a killed campaign resumable: rerun
-the same command and only the unfinished cells compute.
+before streaming cells out: hits come straight from SQLite
+(short-circuiting the process pool), misses execute and are recorded the
+instant each cell's future resolves — completion order, not cell order —
+which is what makes a killed campaign resumable with at most the
+in-flight window lost: rerun the same command and only the unfinished
+cells compute.
 
 Errored rows are persisted (so ``query`` can show failures) but never
 served as hits — a failed cell is retried on the next campaign.
@@ -68,15 +70,34 @@ class RunCache:
         return _campaign_row(stored)
 
     def record(
-        self, key: str, row: Mapping[str, Any], family: Optional[str] = None
+        self,
+        key: str,
+        row: Mapping[str, Any],
+        family: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> None:
         """Persist one freshly-executed campaign row under ``key``.
+
+        ``engine`` is the engine folded into ``key`` — callers that know
+        it (the campaign runner always does) must pass it, so the stored
+        ``engine`` column can never contradict the engine the run key
+        hashed; the row's own value is only a fallback for direct callers.
 
         The ``messages`` column is opportunistic: it is populated only for
         runners that export ``extra['messages']`` and stays NULL otherwise
         (no registered runner currently surfaces per-run message totals)."""
         extra = row.get("extra") or {}
         messages = extra.get("messages") if isinstance(extra, Mapping) else None
+        # Store the seed the run key hashed: unseeded workloads normalize
+        # it to 0 (see workloads.normalized_seed), and a stored nonzero
+        # seed would both contradict the key and match gc's migration
+        # clause.
+        try:
+            from repro import workloads
+
+            seed = workloads.normalized_seed(row["workload"], row.get("seed", 0))
+        except Exception:  # noqa: BLE001 - unknown workloads keep their seed
+            seed = row.get("seed", 0)
         self.store.put(
             {
                 "run_key": key,
@@ -84,9 +105,9 @@ class RunCache:
                 "family": family,
                 "workload": row["workload"],
                 "workload_params": dict(row.get("workload_params") or {}),
-                "seed": row.get("seed", 0),
+                "seed": seed,
                 "algo_params": dict(row.get("algo_params") or {}),
-                "engine": row.get("engine") or "reference",
+                "engine": engine or row.get("engine") or "reference",
                 "code_version": self.code_version or _library_version(),
                 "n": row.get("n"),
                 "m": row.get("m"),

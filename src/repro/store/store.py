@@ -130,15 +130,17 @@ class ExperimentStore:
     def _init_schema(self) -> None:
         with self._conn:
             self._conn.executescript(_SCHEMA)
+            # INSERT OR IGNORE keeps concurrent first-opens race-free: two
+            # processes creating the same store file must not both insert.
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) "
+                "VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
-            if row is None:
-                self._conn.execute(
-                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
-                    (str(SCHEMA_VERSION),),
-                )
-            elif int(row["value"]) != SCHEMA_VERSION:
+            if int(row["value"]) != SCHEMA_VERSION:
                 raise InvalidParameterError(
                     f"{self.path}: store schema version {row['value']} "
                     f"!= supported {SCHEMA_VERSION}"
@@ -252,16 +254,26 @@ class ExperimentStore:
         keep_code_version: Optional[str] = None,
         drop_errors: bool = True,
         dry_run: bool = False,
+        unseeded_workloads: Optional[Sequence[str]] = None,
     ) -> int:
         """Delete unreachable rows: entries from other code versions (their
-        keys can never hit again) and, by default, errored cells (so the
-        next campaign retries them). Returns the affected row count."""
+        keys can never hit again), by default errored cells (so the next
+        campaign retries them), and — when ``unseeded_workloads`` names
+        the deterministic-topology workloads — rows stored under a nonzero
+        seed for those workloads. Run keys normalize the seed of unseeded
+        workloads to 0, so such rows predate that normalization and can
+        never be addressed again. Returns the affected row count."""
         clauses, values = [], []
         if keep_code_version is not None:
             clauses.append("code_version != ?")
             values.append(keep_code_version)
         if drop_errors:
             clauses.append("error IS NOT NULL")
+        if unseeded_workloads:
+            names = sorted(unseeded_workloads)
+            placeholders = ", ".join("?" for _ in names)
+            clauses.append(f"(workload IN ({placeholders}) AND seed != 0)")
+            values.extend(names)
         if not clauses:
             return 0
         where = " OR ".join(clauses)

@@ -32,6 +32,7 @@ from repro.workloads.registry import (
     from_json,
     get,
     names,
+    normalized_seed,
     register,
     register_factory,
     specs,
@@ -47,6 +48,7 @@ __all__ = [
     "from_json",
     "get",
     "names",
+    "normalized_seed",
     "register",
     "register_factory",
     "specs",

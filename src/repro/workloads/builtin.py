@@ -4,8 +4,12 @@ Every spec registered here is a scenario family the paper's bounds care
 about: Delta ladders (regular graphs), bounded-arboricity instances
 (Section 5's ``a = o(Delta)`` regime), bounded-diversity gadgets (Table 2
 and Figure 1), interconnect topologies, and adversarial worst cases
-(power-law hubs, complete graphs, shared-vertex cliques). Importing this
-module populates :mod:`repro.workloads.registry`.
+(power-law hubs, complete graphs, shared-vertex cliques). The ``scale``
+family holds >= 50k-node variants of the core shapes — large enough that
+campaign grids over them exercise the streaming executor's bounded
+window for real, which is why ``repro campaign cells`` leaves them out
+of its default grid (name them explicitly via ``--workloads``).
+Importing this module populates :mod:`repro.workloads.registry`.
 """
 
 from __future__ import annotations
@@ -94,6 +98,16 @@ def _register_builtins() -> None:
         ("disjoint-cliques", "diversity", False, {"count": 6, "size": 5},
          disjoint_cliques,
          "disjoint cliques: diversity 1, clique size S"),
+        # -- scale tier: >= 50k nodes at the registered defaults ----------
+        ("scale-regular", "scale", True, {"n": 50_000, "d": 8}, random_regular,
+         "50k-node random 8-regular graph: the Delta ladder at scale"),
+        ("scale-power-law", "scale", True, {"n": 50_000, "attach": 3}, _power_law,
+         "50k-node Barabási–Albert hubs: the adversarial regime at scale"),
+        ("scale-forest-stack", "scale", True,
+         {"n_centers": 400, "leaves_per_center": 124, "a": 2}, star_forest_stack,
+         "50k-node union of 2 star forests: Section 5's sweet spot at scale"),
+        ("scale-grid", "scale", False, {"rows": 224, "cols": 224}, planar_grid,
+         "224x224 planar grid (50k+ nodes), deterministic topology at scale"),
     )
     for name, family, seeded, defaults, factory, summary in table:
         register(

@@ -20,6 +20,7 @@ FAMILIES = (
     "diversity",
     "topology",
     "adversarial",
+    "scale",
     "custom",
 )
 
@@ -175,17 +176,26 @@ def build(
         ) from exc
 
 
+def normalized_seed(name: str, seed: int = 0) -> int:
+    """The seed run keys fold in for workload ``name``. Unseeded
+    (deterministic-topology) workloads ignore seeds entirely, so every
+    seed is normalized to 0: each seed of such a workload denotes the
+    *same* instance and must share one run key (``--seeds 0,1,2`` over a
+    torus is one computation, not three). The single source of truth —
+    the campaign runner and the run cache both defer here."""
+    return int(seed) if get(name).seeded else 0
+
+
 def canonical_instance(
     name: str, params: Optional[Mapping[str, Any]] = None, seed: int = 0
 ) -> Dict[str, Any]:
     """The canonical description of one workload instance — the payload
     content-addressed run keys hash. Parameters are fully resolved and
-    sorted; the seed is kept even for unseeded workloads so the
-    description stays uniform."""
+    sorted; the seed is normalized via :func:`normalized_seed`."""
     return {
         "workload": name,
         "params": canonical_params(name, params),
-        "seed": int(seed),
+        "seed": normalized_seed(name, seed),
     }
 
 

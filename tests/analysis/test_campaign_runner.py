@@ -140,6 +140,246 @@ class TestCampaignRunner:
         assert any(cell.algorithm == "thm52" for cell in cells)
 
 
+class TestStreamingExecutor:
+    """The windowed as_completed stream: retries, progress, bounded
+    windows, and worker-crash isolation."""
+
+    CELLS = [
+        CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}, seed=s)
+        for s in range(6)
+    ]
+
+    def test_uncached_unseeded_sweep_matches_cached(self, tmp_path):
+        """The same grid returns the same identity fields with and
+        without a store: unseeded seeds normalize to 0 and identical
+        cells execute once in both modes."""
+        from repro.store import ExperimentStore, RunCache
+
+        cells = [
+            CampaignCell("greedy", "torus", {"rows": 4, "cols": 4}, seed=s)
+            for s in (0, 1, 2)
+        ]
+        snapshots = []
+        plain = CampaignRunner(
+            cells, progress=lambda p: snapshots.append((p.hits, p.computed))
+        ).run()
+        assert [r["seed"] for r in plain] == [0, 0, 0]
+        assert snapshots[-1] == (2, 1)  # one execution, two shared rows
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            cached = CampaignRunner(cells, cache=RunCache(store)).run()
+        # engine differs by design: the cached path pins the process
+        # default into every row (key consistency), the uncached path
+        # reports the engine exactly as requested (here: None)
+        volatile = ("wall_ms", "cached", "run_key", "engine")
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k not in volatile} for r in rows
+        ]
+        assert strip(plain) == strip(cached)
+        assert [r["engine"] for r in plain] == [None] * 3
+        assert [r["engine"] for r in cached] == ["reference"] * 3
+
+    def test_small_window_preserves_cell_order(self):
+        inline = CampaignRunner(self.CELLS, jobs=1).run()
+        windowed = CampaignRunner(self.CELLS, jobs=2, window=2).run()
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "wall_ms"} for r in rows
+        ]
+        assert strip(windowed) == strip(inline)
+
+    def test_bad_retries_and_window(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignRunner([], retries=-1)
+        with pytest.raises(InvalidParameterError):
+            CampaignRunner([], window=0)
+
+    def test_progress_callback_counts_every_cell(self):
+        snapshots = []
+        rows = CampaignRunner(
+            self.CELLS, jobs=2, progress=lambda p: snapshots.append(
+                (p.done, p.hits, p.computed, p.errors)
+            )
+        ).run()
+        assert all(r["error"] is None for r in rows)
+        assert snapshots[-1] == (len(self.CELLS), 0, len(self.CELLS), 0)
+        assert [s[0] for s in snapshots] == sorted(s[0] for s in snapshots)
+
+    def test_progress_eta_appears_after_first_computed_cell(self):
+        from repro.analysis.campaign import CampaignProgress
+
+        assert CampaignProgress(total=4).eta_s is None
+        halfway = CampaignProgress(total=4, done=2, computed=2, elapsed_s=1.0)
+        assert halfway.eta_s == pytest.approx(1.0)
+
+    def _register_flaky(self, counter_path, fail_times):
+        from repro import registry
+
+        import dataclasses
+
+        def flaky(graph):
+            with open(counter_path, "a", encoding="utf-8") as handle:
+                handle.write("x")
+            if counter_path.stat().st_size <= fail_times:
+                raise RuntimeError("transient failure")
+            run = registry.get("greedy").runner(graph)
+            return dataclasses.replace(run, name="test-flaky")
+
+        registry.register(
+            registry.AlgorithmSpec(
+                name="test-flaky", family="baseline", kind="edge-coloring",
+                summary="fails a fixed number of times, then succeeds",
+                color_bound="-", rounds_bound="-", runner=flaky,
+            )
+        )
+
+    def test_retries_heal_transient_failures(self, tmp_path):
+        from repro import registry
+
+        counter = tmp_path / "attempts"
+        counter.touch()
+        self._register_flaky(counter, fail_times=2)
+        try:
+            cells = [CampaignCell("test-flaky", "random-regular", {"n": 16, "d": 4})]
+            rows = CampaignRunner(cells, retries=2).run()
+            assert rows[0]["error"] is None
+            assert counter.stat().st_size == 3  # 1 attempt + 2 retries
+        finally:
+            registry._REGISTRY.pop("test-flaky", None)
+
+    def test_exhausted_retries_record_the_error(self, tmp_path):
+        from repro import registry
+
+        counter = tmp_path / "attempts"
+        counter.touch()
+        self._register_flaky(counter, fail_times=99)
+        try:
+            cells = [CampaignCell("test-flaky", "random-regular", {"n": 16, "d": 4})]
+            snapshots = []
+            rows = CampaignRunner(
+                cells, retries=2, progress=lambda p: snapshots.append(p.retried)
+            ).run()
+            assert "transient failure" in rows[0]["error"]
+            assert counter.stat().st_size == 3
+            assert snapshots[-1] == 2
+        finally:
+            registry._REGISTRY.pop("test-flaky", None)
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="pool workers must inherit the test-registered algorithm",
+    )
+    def test_broken_pool_loses_only_the_poison_cell(self):
+        """A cell that kills its worker process costs only itself: the
+        pool is rebuilt, in-flight cells re-execute, the campaign ends
+        with one error row instead of aborting."""
+        import os
+
+        from repro import registry
+
+        def worker_killer(graph):
+            os._exit(1)
+
+        registry.register(
+            registry.AlgorithmSpec(
+                name="test-worker-killer", family="baseline",
+                kind="edge-coloring", summary="SIGKILLs its own worker",
+                color_bound="-", rounds_bound="-", runner=worker_killer,
+            )
+        )
+        try:
+            cells = [
+                CampaignCell("test-worker-killer", "random-regular", {"n": 16, "d": 4}),
+            ] + [
+                CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}, seed=s)
+                for s in range(4)
+            ]
+            rows = CampaignRunner(cells, jobs=2).run()
+            assert "BrokenProcessPool" in rows[0]["error"]
+            assert all(r["error"] is None for r in rows[1:])
+        finally:
+            registry._REGISTRY.pop("test-worker-killer", None)
+
+
+class TestCachedStreaming:
+    """Cache-specific streaming behavior: duplicate-key sharing and the
+    engine column recorded from the run key's pinned engine."""
+
+    def test_unseeded_seed_sweep_computes_once(self, tmp_path):
+        from repro.store import ExperimentStore, RunCache
+
+        cells = [
+            CampaignCell("greedy", "torus", {"rows": 4, "cols": 4}, seed=s)
+            for s in (0, 1, 2)
+        ]
+        snapshots = []
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            first = CampaignRunner(
+                cells, cache=RunCache(store),
+                progress=lambda p: snapshots.append((p.done, p.hits, p.computed)),
+            ).run()
+            assert len(store) == 1  # one computation, one key
+            # shared duplicates count as hits, not computed cells
+            assert snapshots[-1] == (3, 2, 1)
+            keys = {r["run_key"] for r in first}
+            assert len(keys) == 1
+            strip = lambda r: {k: v for k, v in r.items() if k != "wall_ms"}
+            assert strip(first[1]) == strip(first[0])
+            second, cache = (
+                CampaignRunner(cells, cache=(c := RunCache(store))).run(), c
+            )
+            assert all(r["cached"] for r in second)
+            assert cache.hits == 3
+            # cold and warm runs of the identical command return the same
+            # rows: computed rows carry the key-normalized seed (0), not
+            # each cell's raw seed
+            volatile = ("wall_ms", "cached")
+            strip2 = lambda r: {k: v for k, v in r.items() if k not in volatile}
+            assert [r["seed"] for r in first] == [0, 0, 0]
+            assert [strip2(dict(r, extra=r["extra"] or {})) for r in first] == [
+                strip2(r) for r in second
+            ]
+
+    def test_recorded_engine_matches_the_pinned_engine(self, tmp_path):
+        """Regression: the stored engine column used to fall back to
+        'reference' even when the run key hashed another engine."""
+        from repro.store import ExperimentStore, RunCache
+
+        cells = [CampaignCell("greedy", "random-regular", {"n": 16, "d": 4})]
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            CampaignRunner(cells, engine="vector", cache=RunCache(store)).run()
+            stored = store.query()
+            assert stored[0]["engine"] == "vector"
+            # the hit under the same pinned engine proves key and column agree
+            rows = CampaignRunner(cells, engine="vector", cache=RunCache(store)).run()
+            assert rows[0]["cached"] and rows[0]["engine"] == "vector"
+
+    def test_unseeded_rows_store_normalized_seed_and_survive_gc(self, tmp_path):
+        """Regression: a fresh unseeded-workload cell swept at a nonzero
+        seed must be stored with the seed its run key hashed (0) — a raw
+        seed would contradict the key and get collected by gc's
+        pre-normalization migration clause."""
+        from repro.store import ExperimentStore, RunCache
+
+        cells = [CampaignCell("greedy", "torus", {"rows": 4, "cols": 4}, seed=2)]
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            CampaignRunner(cells, cache=RunCache(store)).run()
+            assert store.query()[0]["seed"] == 0
+            assert (
+                store.gc(
+                    unseeded_workloads=("torus",), drop_errors=False, dry_run=True
+                )
+                == 0
+            )
+
+    def test_record_prefers_explicit_engine_over_row(self, tmp_path):
+        from repro.store import ExperimentStore, RunCache, run_key
+
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            key = run_key("greedy", {}, "torus", {}, engine="vector")
+            row = {"algorithm": "greedy", "workload": "torus", "engine": None}
+            RunCache(store).record(key, row, engine="vector")
+            assert store.get(key)["engine"] == "vector"
+
+
 class TestCliEngineJobs:
     def test_run_workload_with_seeds(self, tmp_path, capsys):
         out = tmp_path / "rows.json"
@@ -183,6 +423,51 @@ class TestCliEngineJobs:
     def test_campaign_cells_requires_out(self):
         with pytest.raises(SystemExit):
             main(["campaign", "cells"])
+
+    def test_campaign_cells_progress_line(self, tmp_path, capsys):
+        out = tmp_path / "cells.json"
+        code = main(
+            [
+                "campaign", "cells", "--algorithms", "greedy",
+                "--workloads", "random-regular", "--seeds", "0,1",
+                "--jobs", "1", "--out", str(out), "--progress",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[2/2]" in err and "computed=2" in err and "errors=0" in err
+
+    def test_campaign_cells_retries_flag(self, tmp_path):
+        out = tmp_path / "cells.json"
+        code = main(
+            [
+                "campaign", "cells", "--algorithms", "greedy",
+                "--workloads", "random-regular", "--seeds", "0",
+                "--jobs", "1", "--retries", "2", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        with pytest.raises(SystemExit):
+            main(["campaign", "cells", "--retries", "-1", "--out", str(out)])
+
+    def test_default_grid_excludes_scale_workloads(self, tmp_path):
+        """The unfiltered default grid must stay cheap: >= 50k-node scale
+        scenarios run only when named via --workloads."""
+        from repro import workloads as workload_registry
+
+        out = tmp_path / "cells.json"
+        code = main(
+            [
+                "campaign", "cells", "--algorithms", "greedy",
+                "--seeds", "0", "--jobs", "1", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rows = load_cell_results(out)
+        used = {r["workload"] for r in rows}
+        assert used == set(workload_registry.names()) - set(
+            workload_registry.names(family="scale")
+        )
 
     def test_algorithms_listing(self, capsys):
         assert main(["algorithms", "--family", "core"]) == 0

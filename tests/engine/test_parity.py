@@ -149,6 +149,122 @@ class TestEngineLevelParity:
         )
 
 
+class TestCrashAndBandwidthParity:
+    """The vector engine's own crash path (`engine/vector.py`) against the
+    reference fail-stop semantics: identical outputs, `crashed` sets,
+    round counts, per-round message profiles, and bandwidth accounting
+    under mid-run crashes — including crashes of *sleeping* nodes, which
+    only the vector engine schedules specially."""
+
+    def assert_crash_parity(self, graph, algorithm, extras, crashes):
+        ref = get_engine("reference").run(
+            graph, algorithm, extras=dict(extras),
+            crashes=dict(crashes), track_bandwidth=True,
+        )
+        vec = get_engine("vector").run(
+            graph, algorithm, extras=dict(extras),
+            crashes=dict(crashes), track_bandwidth=True,
+        )
+        assert vec.outputs == ref.outputs
+        assert vec.crashed == ref.crashed
+        assert vec.rounds == ref.rounds
+        assert vec.messages == ref.messages
+        assert vec.round_messages == ref.round_messages
+        assert vec.max_message_bits == ref.max_message_bits
+        return ref
+
+    @staticmethod
+    def reduction_extras(graph):
+        ordered = sorted(graph.nodes(), key=repr)
+        coloring = {v: i for i, v in enumerate(ordered)}
+        delta = max((d for _, d in graph.degree()), default=0)
+        return ordered, {"coloring": coloring, "m": len(ordered), "target": delta + 1}
+
+    @pytest.mark.parametrize("graph_name", PARITY_GRAPHS)
+    def test_staggered_midrun_crashes(self, graph_name):
+        graph = small_graph(graph_name)
+        ordered, extras = self.reduction_extras(graph)
+        # every third node fail-stops at a staggered mid-run round; under
+        # the reduction schedule most of these nodes are sleeping when
+        # their crash round arrives
+        crashes = {v: (i % 4) + 2 for i, v in enumerate(ordered[::3])}
+        ref = self.assert_crash_parity(graph, BasicReductionAlgorithm(), extras, crashes)
+        if ref.rounds >= 5:
+            assert ref.crashed  # the schedule actually fired mid-run
+
+    @pytest.mark.parametrize("graph_name", ("cycle-9", "gnp-30", "regular-24-6"))
+    def test_blocked_reduction_crashes(self, graph_name):
+        graph = small_graph(graph_name)
+        ordered = sorted(graph.nodes(), key=repr)
+        coloring = {v: i for i, v in enumerate(ordered)}
+        delta = max(d for _, d in graph.degree())
+        extras = {"coloring": coloring, "block": 2 * (delta + 1), "palette": delta + 1}
+        crashes = {v: (i % 3) + 1 for i, v in enumerate(ordered[::4])}
+        self.assert_crash_parity(graph, BlockedReductionAlgorithm(), extras, crashes)
+
+    def test_linial_with_crashes(self):
+        line, _ = line_graph_with_cover(random_regular(20, 4, seed=2))
+        ordered = sorted(line.nodes(), key=repr)
+        initial = {v: i for i, v in enumerate(ordered)}
+        extras = {"initial_coloring": initial, "m0": len(initial)}
+        crashes = {v: (i % 3) + 1 for i, v in enumerate(ordered[::4])}
+        self.assert_crash_parity(line, LinialAlgorithm(), extras, crashes)
+
+    def test_everyone_crashes_in_round_one(self):
+        graph = small_graph("gnp-30")
+        ordered, extras = self.reduction_extras(graph)
+        crashes = {v: 1 for v in ordered}
+        ref = self.assert_crash_parity(graph, BasicReductionAlgorithm(), extras, crashes)
+        assert ref.rounds == 1
+        assert ref.crashed == frozenset(ordered)
+
+    def test_crash_scheduled_after_termination_never_fires(self):
+        graph = small_graph("regular-24-6")
+        ordered, extras = self.reduction_extras(graph)
+        crashes = {ordered[0]: 10**6}
+        ref = self.assert_crash_parity(graph, BasicReductionAlgorithm(), extras, crashes)
+        assert ref.crashed == frozenset()
+
+    def test_crash_at_exact_wake_round(self):
+        """Crash a node in the round its sleep hint would have woken it:
+        the vector engine must not step (or count) it."""
+        graph = small_graph("regular-24-6")
+        ordered, extras = self.reduction_extras(graph)
+        baseline = get_engine("reference").run(
+            graph, BasicReductionAlgorithm(), extras=dict(extras)
+        )
+        # color class c acts late in the schedule; crash a mid-schedule
+        # node at every plausible wake round and require parity each time
+        victim = ordered[len(ordered) // 2]
+        for crash_round in range(2, min(baseline.rounds, 12)):
+            self.assert_crash_parity(
+                graph, BasicReductionAlgorithm(), extras, {victim: crash_round}
+            )
+
+    def test_bandwidth_parity_without_crashes(self):
+        graph = small_graph("gnp-30")
+        _, extras = self.reduction_extras(graph)
+        ref = get_engine("reference").run(
+            graph, BasicReductionAlgorithm(), extras=dict(extras), track_bandwidth=True
+        )
+        vec = get_engine("vector").run(
+            graph, BasicReductionAlgorithm(), extras=dict(extras), track_bandwidth=True
+        )
+        assert vec.max_message_bits == ref.max_message_bits > 0
+
+    def test_unknown_crash_node_rejected_by_both(self):
+        from repro.errors import SimulationError
+
+        graph = small_graph("path-7")
+        _, extras = self.reduction_extras(graph)
+        for engine in ("reference", "vector"):
+            with pytest.raises(SimulationError, match="unknown nodes"):
+                get_engine(engine).run(
+                    graph, BasicReductionAlgorithm(), extras=dict(extras),
+                    crashes={"no-such-node": 1},
+                )
+
+
 class TestParityAtModerateScale:
     """One larger instance per hot path, so the event-driven skipping is
     actually exercised at depth (hundreds of rounds, mostly-idle nodes)."""

@@ -217,6 +217,66 @@ class TestCliStoreWorkflow:
         assert main(["gc", "--store", db]) == 0
         assert "deleted 0 of 4 rows" in capsys.readouterr().out
 
+    def test_unseeded_seed_sweep_shares_one_store_row(self, tmp_path, capsys):
+        """Regression: ``--seeds 0,1,2`` over a deterministic-topology
+        workload used to store three identical computations under three
+        distinct run keys (and could never share a cache hit)."""
+        db = str(tmp_path / "runs.db")
+        args = [
+            "campaign", "cells", "--algorithms", "greedy",
+            "--workloads", "torus", "--seeds", "0,1,2", "--jobs", "1",
+            "--store", db,
+        ]
+        assert main(args) == 0
+        # the cold summary already reports the two shared duplicates
+        assert "3 cells, 2 from cache, 1 computed" in capsys.readouterr().out
+        with ExperimentStore(db) as store:
+            assert len(store) == 1
+        assert main(args) == 0
+        assert "3 from cache, 0 computed" in capsys.readouterr().out
+
+    def test_gc_cli_reports_pre_normalization_rows(self, tmp_path, capsys):
+        """``repro gc`` collects unseeded-workload rows stored under
+        nonzero seeds (pre-normalization keys) and says why."""
+        import repro
+
+        db = tmp_path / "runs.db"
+        with ExperimentStore(db) as store:
+            base = {
+                "algorithm": "greedy", "workload": "torus",
+                "workload_params": {"rows": 8, "cols": 8}, "algo_params": {},
+                "engine": "reference", "code_version": repro.__version__,
+                "error": None,
+            }
+            store.put(dict(base, run_key="old-seed-1", seed=1))
+            store.put(dict(base, run_key="current", seed=0))
+        assert main(["gc", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 of 2 rows" in out
+        assert "nonzero seed" in out
+        with ExperimentStore(db) as store:
+            assert [r["run_key"] for r in store.query()] == ["current"]
+
+    def test_gc_cli_note_ignores_errored_rows(self, tmp_path, capsys):
+        """Errored rows are collected as errors, not misreported by the
+        pre-normalization migration note."""
+        import repro
+
+        db = tmp_path / "runs.db"
+        with ExperimentStore(db) as store:
+            store.put(
+                {
+                    "run_key": "boom", "algorithm": "greedy",
+                    "workload": "random-regular", "workload_params": {},
+                    "seed": 0, "algo_params": {}, "engine": "reference",
+                    "code_version": repro.__version__, "error": "Boom: no",
+                }
+            )
+        assert main(["gc", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 of 1 rows" in out
+        assert "nonzero seed" not in out
+
     def test_query_missing_store(self, tmp_path):
         with pytest.raises(SystemExit, match="no experiment store"):
             main(["query", "--store", str(tmp_path / "void.db")])

@@ -176,6 +176,30 @@ class TestGc:
             assert store.gc(keep_code_version=repro.__version__, drop_errors=False) == 0
             assert len(store) == 2
 
+    def test_drops_unreachable_unseeded_seeds(self, tmp_path):
+        """Migration: run keys normalize unseeded-workload seeds to 0, so
+        rows such workloads stored under nonzero seeds (written before the
+        normalization) are unreachable and collectible."""
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            store.put_many(
+                [
+                    _row("k1", workload="torus", seed=0),
+                    _row("k2", workload="torus", seed=1),
+                    _row("k3", workload="torus", seed=2),
+                    _row("k4", workload="random-regular", seed=2),
+                ]
+            )
+            unseeded = ("torus", "planar-grid")
+            assert store.gc(unseeded_workloads=unseeded, dry_run=True) == 2
+            assert store.gc(unseeded_workloads=unseeded) == 2
+            assert [r["run_key"] for r in store.query()] == ["k1", "k4"]
+
+    def test_no_clauses_is_a_noop(self, tmp_path):
+        with ExperimentStore(tmp_path / "runs.db") as store:
+            store.put(_row("k1", seed=3))
+            assert store.gc(drop_errors=False, unseeded_workloads=()) == 0
+            assert len(store) == 1
+
 
 def _write_batch(payload):
     """Worker entry point: open the shared store file and write a batch."""

@@ -38,8 +38,44 @@ class TestRegistry:
 
     def test_every_builtin_builds_with_defaults(self):
         for spec in workloads.specs():
+            if spec.family == "scale":
+                continue  # >= 50k nodes at defaults; shrunk build below
             graph = workloads.build(spec.name, seed=0)
             assert graph.number_of_nodes() > 0, spec.name
+
+    def test_scale_tier_registered(self):
+        names = workloads.names(family="scale")
+        assert {
+            "scale-regular",
+            "scale-power-law",
+            "scale-forest-stack",
+            "scale-grid",
+        } <= set(names)
+
+    def test_scale_defaults_reach_fifty_thousand_nodes(self):
+        """The registered defaults describe >= 50k-node instances (checked
+        arithmetically — building them belongs to campaigns/benchmarks)."""
+        regular = workloads.get("scale-regular").defaults
+        assert regular["n"] >= 50_000
+        hubs = workloads.get("scale-power-law").defaults
+        assert hubs["n"] >= 50_000
+        stack = workloads.get("scale-forest-stack").defaults
+        assert stack["n_centers"] * (1 + stack["leaves_per_center"]) >= 50_000
+        grid = workloads.get("scale-grid").defaults
+        assert grid["rows"] * grid["cols"] >= 50_000
+
+    def test_scale_tier_builds_shrunk(self):
+        """Every scale factory works mechanically at a shrunk size; the
+        full-size builds run in the streaming bench, not the unit suite."""
+        shrunk = {
+            "scale-regular": {"n": 40, "d": 4},
+            "scale-power-law": {"n": 40, "attach": 2},
+            "scale-forest-stack": {"n_centers": 4, "leaves_per_center": 9, "a": 2},
+            "scale-grid": {"rows": 5, "cols": 8},
+        }
+        for name, params in shrunk.items():
+            graph = workloads.build(name, params, seed=0)
+            assert graph.number_of_nodes() == 40, name
 
     def test_registering_same_name_twice_is_an_error(self):
         spec = workloads.get("torus")
@@ -94,12 +130,38 @@ class TestCanonicalization:
         }
 
     def test_canonical_instance_sorted_and_total(self):
-        instance = workloads.canonical_instance("torus", {}, seed=3)
+        instance = workloads.canonical_instance("random-regular", {}, seed=3)
         assert instance == {
-            "workload": "torus",
-            "params": {"cols": 8, "rows": 8},
+            "workload": "random-regular",
+            "params": {"d": 8, "n": 64},
             "seed": 3,
         }
+
+    def test_canonical_instance_normalizes_unseeded_seed(self):
+        """Deterministic topologies ignore seeds, so every seed denotes
+        the same instance — the canonical description (and therefore the
+        run key) must not vary with it."""
+        base = workloads.canonical_instance("torus", {}, seed=0)
+        assert base["seed"] == 0
+        for seed in (1, 2, 99):
+            assert workloads.canonical_instance("torus", {}, seed=seed) == base
+
+    def test_unseeded_run_keys_are_seed_invariant(self):
+        """Regression: ``--seeds 0,1,2`` over an unseeded workload used to
+        store one identical computation under three distinct keys (three
+        computations, zero shared hits)."""
+        from repro.store import run_key
+
+        keys = {
+            run_key("greedy", {}, "torus", {}, seed=seed, engine="reference")
+            for seed in (0, 1, 2)
+        }
+        assert len(keys) == 1
+        seeded = {
+            run_key("greedy", {}, "erdos-renyi", {}, seed=seed, engine="reference")
+            for seed in (0, 1, 2)
+        }
+        assert len(seeded) == 3
 
     def test_json_round_trip(self):
         text = workloads.to_json("random-regular", {"n": 16, "d": 4}, seed=2)

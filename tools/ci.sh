@@ -43,3 +43,61 @@ python -m repro query --store "$SMOKE_DIR/killed.db" --format json --out "$SMOKE
 python -m repro query --store "$SMOKE_DIR/clean.db" --format json --out "$SMOKE_DIR/clean.json" >/dev/null
 cmp "$SMOKE_DIR/killed.json" "$SMOKE_DIR/clean.json"
 echo "resumed campaign is byte-identical to an uninterrupted run"
+
+echo "== streaming smoke: out-of-order durability under SIGKILL =="
+# A --jobs 4 --store campaign whose deliberately slow HEAD cell (it blocks
+# while a flag file exists) pins one worker while every other cell
+# completes out of order. The streaming executor records each completed
+# cell the instant its future resolves, so they are all durable when the
+# SIGKILL lands; the old pool.map executor buffered every one of them
+# behind the slow head (head-of-line ordering) and this smoke fails with
+# zero durable rows. The driver is shared with benchmarks/bench_stream.py.
+touch "$SMOKE_DIR/flag"
+python tools/stream_kill_driver.py \
+  "$SMOKE_DIR/stream_killed.db" "$SMOKE_DIR/flag" 4 24 &
+STREAM_PID=$!
+# Wait until all 24 fast cells are durable (the old executor never records
+# any, so this loop timing out is the regression signal), then SIGKILL.
+DURABLE=0
+for _ in $(seq 1 240); do
+  DURABLE=$(python - "$SMOKE_DIR/stream_killed.db" <<'EOF'
+import sys
+from pathlib import Path
+from repro.store import ExperimentStore
+path = sys.argv[1]
+print(len(ExperimentStore(path)) if Path(path).exists() else 0)
+EOF
+)
+  [ "$DURABLE" -ge 24 ] && break
+  sleep 0.25
+done
+kill -KILL "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+# Reap the forked pool workers the SIGKILL orphaned — they idle on the
+# executor's call queue forever and keep inherited pipes open. Match on
+# this run's store path so concurrent CI runs are untouched.
+pkill -KILL -f "$SMOKE_DIR/stream_killed.db" 2>/dev/null || true
+if [ "$DURABLE" -lt 24 ]; then
+  echo "FAIL: only $DURABLE/24 completed cells durable at SIGKILL (in-flight loss must be <= jobs)"
+  exit 1
+fi
+rm -f "$SMOKE_DIR/flag"
+# Resume the killed campaign (only the head cell computes), run the same
+# grid uninterrupted, and byte-compare the deterministic column set.
+python tools/stream_kill_driver.py \
+  "$SMOKE_DIR/stream_killed.db" "$SMOKE_DIR/flag" 4 24
+python tools/stream_kill_driver.py \
+  "$SMOKE_DIR/stream_clean.db" "$SMOKE_DIR/flag" 4 24
+python -m repro query --store "$SMOKE_DIR/stream_killed.db" --format json --out "$SMOKE_DIR/stream_killed.json" >/dev/null
+python -m repro query --store "$SMOKE_DIR/stream_clean.db" --format json --out "$SMOKE_DIR/stream_clean.json" >/dev/null
+cmp "$SMOKE_DIR/stream_killed.json" "$SMOKE_DIR/stream_clean.json"
+echo "streaming smoke: 24/24 out-of-order cells durable at SIGKILL; resumed store byte-identical"
+
+# Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
+# streaming executor's kill-loss and overhead (BENCH_stream.json).
+if [ "${RUN_BENCH:-0}" = "1" ]; then
+  echo "== benches =="
+  python benchmarks/bench_stream.py
+  python benchmarks/bench_store_cache.py
+  python benchmarks/bench_engine_comparison.py
+fi
