@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Benchmark: per-cell invariant-verification overhead.
+
+Runs the default campaign grid (the same cells ``repro campaign cells``
+executes with no arguments) twice inline — once with the invariant
+oracles on (the default), once with ``verify=False`` — and compares
+wall-clock. Verification is load-bearing in every campaign, so its cost
+must stay a small fraction of cell runtime: the gate fails the benchmark
+when the measured overhead exceeds ``--max-overhead`` (default 10%).
+
+Also asserts that the verified pass produced a non-null ``ok`` verdict
+for every cell — the acceptance contract of the verification subsystem.
+
+Writes ``BENCH_verify.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_verify.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis.campaign import CampaignRunner, default_cells
+
+
+def run_pass(verify: bool, repeats: int):
+    """Best-of-N inline pass over the default grid (jobs=1 keeps the
+    measurement free of pool-scheduling noise)."""
+    best = float("inf")
+    rows = None
+    for _ in range(repeats):
+        runner = CampaignRunner(default_cells(), jobs=1, verify=verify)
+        started = time.perf_counter()
+        rows = runner.run()
+        best = min(best, time.perf_counter() - started)
+    return best, rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-overhead", type=float, default=0.10)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_verify.json")
+    args = parser.parse_args()
+
+    unverified_s, _ = run_pass(verify=False, repeats=args.repeats)
+    verified_s, rows = run_pass(verify=True, repeats=args.repeats)
+
+    errored = [r for r in rows if r["error"]]
+    missing_verdicts = [r for r in rows if not r["error"] and r.get("verdict") is None]
+    bad_verdicts = [
+        r for r in rows if not r["error"] and r.get("verdict") not in (None, "ok")
+    ]
+    overhead = (verified_s - unverified_s) / unverified_s if unverified_s > 0 else 0.0
+
+    payload = {
+        "benchmark": "verify_overhead",
+        "cells": len(rows),
+        "repeats": args.repeats,
+        "unverified_s": round(unverified_s, 4),
+        "verified_s": round(verified_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead": args.max_overhead,
+        "errored_cells": len(errored),
+        "cells_without_verdict": len(missing_verdicts),
+        "cells_with_bad_verdict": len(bad_verdicts),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    print(json.dumps(payload, indent=1))
+
+    if errored:
+        print(f"FAIL: {len(errored)} cells errored", file=sys.stderr)
+        return 1
+    if missing_verdicts:
+        print(
+            f"FAIL: {len(missing_verdicts)} cells finished without a verdict",
+            file=sys.stderr,
+        )
+        return 1
+    if bad_verdicts:
+        print(
+            f"FAIL: {len(bad_verdicts)} cells violated their invariants",
+            file=sys.stderr,
+        )
+        return 1
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: verification overhead {overhead:.1%} > "
+            f"allowed {args.max_overhead:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: verification overhead {overhead:.1%} over {len(rows)} cells "
+        f"(gate {args.max_overhead:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

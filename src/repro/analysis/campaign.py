@@ -262,10 +262,11 @@ def _row_base(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: build the graph, run through the registry under
-    the requested engine, verify, and report one structured row. Errors are
+    the requested engine, run the algorithm's declared invariant oracles
+    (see :mod:`repro.verify`) while graph and output are still in hand,
+    and report one structured row carrying the verdict. Errors are
     isolated per cell — a failing cell never takes the campaign down."""
     from repro import registry
-    from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
 
     row: Dict[str, Any] = _row_base(payload)
     try:
@@ -280,14 +281,13 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             **payload["algo_params"],
         )
         wall_ms = (time.perf_counter() - started) * 1000.0
-        verified = False
+        verdict: Optional[str] = None
+        violation: Optional[str] = None
         if payload.get("verify", True):
-            if run.kind == "edge-coloring":
-                verify_edge_coloring(graph, run.coloring)
-                verified = True
-            elif run.kind == "vertex-coloring":
-                verify_vertex_coloring(graph, run.coloring)
-                verified = True
+            from repro.verify import verify_run
+
+            outcome = verify_run(graph, run, params=payload["algo_params"])
+            verdict, violation = outcome.status, outcome.violation
         row.update(
             n=graph.number_of_nodes(),
             m=graph.number_of_edges(),
@@ -297,7 +297,9 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             rounds_modeled=run.rounds_modeled,
             wall_ms=wall_ms,
             extra=run.extra,
-            verified=verified,
+            verified=verdict == "ok",
+            verdict=verdict,
+            violation=violation,
             error=None,
         )
     except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
@@ -502,7 +504,14 @@ class CampaignRunner:
                 continue
             keys.append(key)
             seeds.append(seed)
-            hit = cache.get(key) if cache is not None else None
+            # A verifying campaign re-executes verdict-less stored rows
+            # (migrated v1 stores, verify=False runs) so every cell it
+            # returns carries a verdict.
+            hit = (
+                cache.get(key, require_verdict=self.verify)
+                if cache is not None
+                else None
+            )
             if hit is not None:
                 results[index] = hit
                 tracker.hit()

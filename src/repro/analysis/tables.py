@@ -237,7 +237,7 @@ CELL_ROW_COLUMNS = (
     "colors_used",
     "rounds_actual",
     "rounds_modeled",
-    "verified",
+    "verdict",
     "error",
 )
 

@@ -1,140 +1,29 @@
-"""Coloring verifiers — every invariant the paper states, checkable.
+"""Back-compat shim: the verifiers moved to :mod:`repro.verify`.
 
-All checkers raise :class:`~repro.errors.ColoringError` (or return False when
-``strict=False``) so that tests, benchmarks, and examples never accept an
-improper coloring silently.
+``analysis/verify.py`` was a test-only helper; the checkers are now the
+foundation of the first-class verification subsystem (oracle registry,
+per-cell verdicts, differential cross-engine checks) in
+:mod:`repro.verify`. Import from there in new code.
 """
 
-from __future__ import annotations
+from repro.verify.checkers import (  # noqa: F401 - re-exported surface
+    count_colors,
+    max_star_size,
+    verify_clique_decomposition,
+    verify_defective_coloring,
+    verify_edge_coloring,
+    verify_h_partition,
+    verify_star_partition,
+    verify_vertex_coloring,
+)
 
-from typing import Dict, Iterable, List, Optional
-
-import networkx as nx
-
-from repro.errors import ColoringError
-from repro.graphs.cliques import CliqueCover
-from repro.types import Edge, EdgeColoring, NodeId, VertexColoring, edge_key
-
-
-def verify_vertex_coloring(
-    graph: nx.Graph,
-    coloring: VertexColoring,
-    palette: Optional[int] = None,
-    strict: bool = True,
-) -> bool:
-    """Check that ``coloring`` covers every vertex, is proper, and (if given)
-    fits in ``palette`` colors."""
-    try:
-        missing = set(graph.nodes()) - set(coloring)
-        if missing:
-            raise ColoringError(f"{len(missing)} vertices uncolored: {sorted(missing, key=repr)[:5]!r}")
-        for u, v in graph.edges():
-            if coloring[u] == coloring[v]:
-                raise ColoringError(f"monochromatic edge ({u!r},{v!r}) color {coloring[u]}")
-        if palette is not None:
-            used = len(set(coloring.values()))
-            if used > palette:
-                raise ColoringError(f"{used} colors used, palette allows {palette}")
-    except ColoringError:
-        if strict:
-            raise
-        return False
-    return True
-
-
-def verify_edge_coloring(
-    graph: nx.Graph,
-    coloring: EdgeColoring,
-    palette: Optional[int] = None,
-    strict: bool = True,
-) -> bool:
-    """Check that ``coloring`` covers every edge, that no two edges sharing
-    an endpoint share a color, and (if given) the palette bound."""
-    try:
-        expected = {edge_key(u, v) for u, v in graph.edges()}
-        missing = expected - set(coloring)
-        if missing:
-            raise ColoringError(f"{len(missing)} edges uncolored: {sorted(missing)[:5]!r}")
-        for v in graph.nodes():
-            seen: Dict[int, Edge] = {}
-            for u in graph.neighbors(v):
-                e = edge_key(u, v)
-                c = coloring[e]
-                if c in seen:
-                    raise ColoringError(
-                        f"edges {seen[c]!r} and {e!r} share color {c} at {v!r}"
-                    )
-                seen[c] = e
-        if palette is not None:
-            used = len(set(coloring.values())) if coloring else 0
-            if used > palette:
-                raise ColoringError(f"{used} colors used, palette allows {palette}")
-    except ColoringError:
-        if strict:
-            raise
-        return False
-    return True
-
-
-def max_star_size(graph: nx.Graph, edges: Iterable[Edge]) -> int:
-    """The largest number of the given edges sharing one endpoint — the
-    star bound of a (p, q)-star-partition class (Section 4)."""
-    count: Dict[NodeId, int] = {}
-    for u, v in edges:
-        count[u] = count.get(u, 0) + 1
-        count[v] = count.get(v, 0) + 1
-    return max(count.values(), default=0)
-
-
-def verify_star_partition(
-    graph: nx.Graph, classes: Dict[int, List[Edge]], q: int, strict: bool = True
-) -> bool:
-    """Check a (p, q)-star-partition: the classes partition E(G) and every
-    class has star size at most q."""
-    try:
-        all_edges = [e for edges in classes.values() for e in edges]
-        expected = {edge_key(u, v) for u, v in graph.edges()}
-        if sorted(all_edges) != sorted(expected):
-            raise ColoringError("classes do not partition the edge set")
-        for c, edges in classes.items():
-            size = max_star_size(graph, edges)
-            if size > q:
-                raise ColoringError(f"class {c} has star size {size} > {q}")
-    except ColoringError:
-        if strict:
-            raise
-        return False
-    return True
-
-
-def verify_clique_decomposition(
-    graph: nx.Graph,
-    cover: CliqueCover,
-    classes: Dict[int, List[NodeId]],
-    max_clique: int,
-    strict: bool = True,
-) -> bool:
-    """Check a (p, q)-clique-decomposition (Section 2): the classes partition
-    V(G), and within each class every identified clique's restriction has at
-    most ``max_clique`` vertices."""
-    try:
-        all_vertices = [v for members in classes.values() for v in members]
-        if sorted(all_vertices, key=repr) != sorted(graph.nodes(), key=repr):
-            raise ColoringError("classes do not partition the vertex set")
-        for c, members in classes.items():
-            mset = set(members)
-            for clique in cover.cliques:
-                inside = len(clique & mset)
-                if inside > max_clique:
-                    raise ColoringError(
-                        f"class {c} keeps {inside} > {max_clique} vertices of a clique"
-                    )
-    except ColoringError:
-        if strict:
-            raise
-        return False
-    return True
-
-
-def count_colors(coloring: Dict) -> int:
-    return len(set(coloring.values())) if coloring else 0
+__all__ = [
+    "count_colors",
+    "max_star_size",
+    "verify_clique_decomposition",
+    "verify_defective_coloring",
+    "verify_edge_coloring",
+    "verify_h_partition",
+    "verify_star_partition",
+    "verify_vertex_coloring",
+]

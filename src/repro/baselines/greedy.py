@@ -89,6 +89,7 @@ _registry.register(
         color_bound="2*Delta - 1",
         rounds_bound="centralized",
         runner=_run_greedy,
+        invariants=("proper-edge-coloring", "palette-bound"),
         distributed=False,
     )
 )
@@ -101,6 +102,7 @@ _registry.register(
         color_bound="Delta + 1",
         rounds_bound="centralized",
         runner=_run_greedy_vertex,
+        invariants=("proper-vertex-coloring", "palette-bound"),
         distributed=False,
     )
 )

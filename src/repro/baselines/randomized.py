@@ -144,6 +144,7 @@ _registry.register(
         color_bound="ceil(palette_factor * Delta)",
         rounds_bound="O(log m) w.h.p.",
         runner=_run_randomized,
+        invariants=("proper-edge-coloring", "palette-bound"),
         params=("palette_factor", "seed"),
     )
 )

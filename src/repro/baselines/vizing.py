@@ -175,6 +175,7 @@ _registry.register(
         color_bound="Delta + 1",
         rounds_bound="centralized",
         runner=_run_vizing,
+        invariants=("proper-edge-coloring", "palette-bound"),
         distributed=False,
     )
 )

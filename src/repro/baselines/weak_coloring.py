@@ -194,6 +194,7 @@ _registry.register(
         color_bound="Delta^(1+eps)",
         rounds_bound="O(log* n) per level",
         runner=_run_weak,
+        invariants=("proper-edge-coloring", "palette-bound"),
         params=("exponent",),
     )
 )
@@ -206,6 +207,7 @@ _registry.register(
         color_bound="Delta^(1+eps)",
         rounds_bound="O(log* n) per level",
         runner=_run_weak_vertex,
+        invariants=("proper-vertex-coloring", "palette-bound"),
         params=("exponent",),
     )
 )

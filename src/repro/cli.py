@@ -23,8 +23,13 @@ Subcommands:
   status line (done/total, hit/miss/error counts, ETA).
 * ``workloads`` — the declarative workload registry: every named graph
   scenario with its family and default parameters.
-* ``query`` — filter and print rows of an experiment store.
-* ``gc`` — drop unreachable store rows (stale code versions, errors).
+* ``query`` — filter and print rows of an experiment store
+  (``--unverified`` / ``--verdict`` select on verification state).
+* ``gc`` — drop unreachable store rows (stale code versions, errors,
+  ``--failed`` verdicts).
+* ``verify`` — re-execute and re-verify persisted store rows against the
+  invariant oracles (:mod:`repro.verify`), and ``--diff``: run sampled
+  cells under every engine and compare the outputs field by field.
 * ``tables`` / ``figures`` / ``experiments`` — the paper-reproduction
   harnesses.
 
@@ -45,8 +50,8 @@ from typing import Any, Dict, List, Optional
 
 from repro import io as repro_io
 from repro import registry
-from repro.analysis.verify import verify_edge_coloring, verify_vertex_coloring
 from repro.engine import available_engines, use_engine
+from repro.errors import ColoringError
 from repro.graphs.properties import arboricity_bounds, degeneracy, max_degree
 
 #: Edge-coloring algorithms exposed by ``color`` (registry-resolved; kept
@@ -66,11 +71,15 @@ def _algorithm_params(spec: registry.AlgorithmSpec, args: argparse.Namespace) ->
     return params
 
 
-def _verify_run(graph, run: registry.AlgorithmRun) -> None:
-    if run.kind == "edge-coloring":
-        verify_edge_coloring(graph, run.coloring)
-    elif run.kind == "vertex-coloring":
-        verify_vertex_coloring(graph, run.coloring)
+def _verify_run(graph, run: registry.AlgorithmRun, params=None) -> None:
+    """Run the algorithm's declared invariant oracles; a ``fail`` verdict
+    aborts the command (single-run front-ends never print unverified
+    results)."""
+    from repro.verify import verify_run
+
+    verdict = verify_run(graph, run, params=params)
+    if verdict.status == "fail":
+        raise ColoringError(f"{run.name}: {verdict.violation}")
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -107,7 +116,7 @@ def cmd_color(args: argparse.Namespace) -> int:
     spec = registry.get(args.algorithm)
     params = _algorithm_params(spec, args)
     run = registry.run(args.algorithm, graph, engine=args.engine, **params)
-    _verify_run(graph, run)
+    _verify_run(graph, run, params=params)
     delta = max_degree(graph)
     print(f"algorithm      = {args.algorithm}")
     print(f"Delta          = {delta}")
@@ -136,7 +145,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.graph:
         graph = repro_io.read_edge_list(args.graph)
         run = registry.run(args.algorithm, graph, engine=args.engine, **params)
-        _verify_run(graph, run)
+        _verify_run(graph, run, params=params)
         rows = [
             {
                 "algorithm": args.algorithm,
@@ -353,6 +362,7 @@ def _campaign_cells(args: argparse.Namespace) -> int:
             print(file=sys.stderr)
 
     failed = [r for r in results if r["error"]]
+    bad_verdicts = [r for r in results if r.get("verdict") == "fail"]
     # runner counters, so the summary agrees with --progress: in-run
     # duplicates (one computation shared across cells) count as hits
     served = runner.last_progress.hits
@@ -362,14 +372,22 @@ def _campaign_cells(args: argparse.Namespace) -> int:
     if args.store:
         print(
             f"campaign: {len(results)} cells, {served} from cache, "
-            f"{len(results) - served} computed, {len(failed)} failed "
-            f"(store: {args.store})"
+            f"{len(results) - served} computed, {len(failed)} failed, "
+            f"{len(bad_verdicts)} invariant violations (store: {args.store})"
         )
     else:
-        print(f"completed {len(results)} cells ({len(failed)} failed)")
+        print(
+            f"completed {len(results)} cells ({len(failed)} failed, "
+            f"{len(bad_verdicts)} invariant violations)"
+        )
     for row in failed:
         print(f"FAILED {row['algorithm']} on {row['workload']}: {row['error']}")
-    return 1 if failed else 0
+    for row in bad_verdicts:
+        print(
+            f"VIOLATION {row['algorithm']} on {row['workload']} "
+            f"seed={row['seed']}: {row.get('violation')}"
+        )
+    return 1 if failed or bad_verdicts else 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -454,10 +472,12 @@ def cmd_query(args: argparse.Namespace) -> int:
         "engine": args.query_engine,
         "seed": args.seed,
         "kind": args.kind,
+        "verdict": args.verdict,
     }
     with _open_store(args.store) as store:
         rows = store.query(
             include_errors=not args.no_errors,
+            unverified=args.unverified,
             **{k: v for k, v in filters.items() if v is not None},
         )
     if args.format == "json":
@@ -501,6 +521,7 @@ def cmd_gc(args: argparse.Namespace) -> int:
         affected = store.gc(
             keep_code_version=None if args.all_versions else repro.__version__,
             drop_errors=not args.keep_errors,
+            drop_failed=args.failed,
             dry_run=args.dry_run,
             unseeded_workloads=unseeded,
         )
@@ -515,6 +536,94 @@ def cmd_gc(args: argparse.Namespace) -> int:
             "deterministic topologies once per seed)"
         )
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Re-verify persisted store rows and/or run differential
+    cross-engine checks."""
+    import repro
+    from repro.verify import default_diff_cells, differential_check, recheck_row
+
+    if not args.store and not args.diff:
+        raise SystemExit("verify requires --store and/or --diff")
+
+    exit_code = 0
+
+    if args.store:
+        filters = {
+            "algorithm": args.algorithm,
+            "workload": args.workload,
+            "engine": args.query_engine,
+            "seed": args.seed,
+        }
+        if not args.all_versions:
+            # Rows from other builds legitimately diverge from a re-run
+            # under this build; their keys are unreachable anyway (gc
+            # territory), so recheck only current-version rows by default.
+            filters["code_version"] = repro.__version__
+        with _open_store(args.store) as store:
+            rows = store.query(
+                unverified=args.unverified,
+                **{k: v for k, v in filters.items() if v is not None},
+            )
+            if args.limit is not None:
+                rows = rows[: args.limit]
+            rechecked = flagged = skipped = 0
+            for row in rows:
+                if row.get("error"):
+                    skipped += 1  # errored cells are retried by campaigns
+                    continue
+                result = recheck_row(row)
+                rechecked += 1
+                if not args.dry_run:
+                    store.set_verdict(row["run_key"], result.status, result.violation)
+                # 'skip' (no oracle applies) is a healthy outcome, same as
+                # in campaigns; only genuine failures flag the store.
+                if result.status in ("fail", "error"):
+                    flagged += 1
+                    print(
+                        f"FLAGGED {row['algorithm']} on {row['workload']} "
+                        f"seed={row['seed']} [{row['run_key'][:12]}]: "
+                        f"{result.status}: {result.violation}"
+                    )
+            print(
+                f"verify: {rechecked} rows re-checked, {flagged} flagged, "
+                f"{skipped} skipped (errored) in {args.store}"
+            )
+            if flagged:
+                exit_code = 1
+
+    if args.diff:
+        cells = default_diff_cells()
+        if args.algorithms:
+            cells = [c for c in cells if c["algorithm"] in args.algorithms]
+        if args.workloads:
+            cells = [c for c in cells if c["workload"] in args.workloads]
+        if not cells:
+            raise SystemExit(
+                "verify --diff: no differential cells match the filters "
+                "(the sample covers: "
+                + ", ".join(sorted({c["algorithm"] for c in default_diff_cells()}))
+                + " x "
+                + ", ".join(sorted({c["workload"] for c in default_diff_cells()}))
+                + ")"
+            )
+        diverged = 0
+        for cell in cells:
+            result = differential_check(**cell)
+            if not result.ok:
+                diverged += 1
+                print(f"DIVERGED {result.describe()}")
+            elif args.verbose:
+                print(result.describe())
+        print(
+            f"differential: {len(cells)} cells x engines (reference, vector), "
+            f"{diverged} diverged"
+        )
+        if diverged:
+            exit_code = 1
+
+    return exit_code
 
 
 class _WorkloadParam(argparse.Action):
@@ -780,6 +889,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-errors", action="store_true", help="exclude errored cells"
     )
     query.add_argument(
+        "--verdict",
+        choices=("ok", "fail", "skip", "error"),
+        default=None,
+        help="filter by verification verdict",
+    )
+    query.add_argument(
+        "--unverified",
+        action="store_true",
+        help="only rows without a verdict (pre-migration rows, "
+        "verify-disabled campaigns) — the `repro verify` work queue",
+    )
+    query.add_argument(
         "--format",
         choices=("table", "json", "markdown"),
         default="table",
@@ -802,9 +923,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-errors", action="store_true", help="keep errored cells"
     )
     gc.add_argument(
+        "--failed",
+        action="store_true",
+        help="also drop rows whose verification verdict is 'fail' "
+        "(the next campaign recomputes them)",
+    )
+    gc.add_argument(
         "--dry-run", action="store_true", help="report without deleting"
     )
     gc.set_defaults(func=cmd_gc)
+
+    verify = sub.add_parser(
+        "verify",
+        help="re-check stored rows against recomputation and run "
+        "differential cross-engine checks",
+    )
+    verify.add_argument(
+        "--store", default=None, help="experiment store to re-verify"
+    )
+    verify.add_argument("--algorithm", default=None, help="filter rows")
+    verify.add_argument("--workload", default=None, help="filter rows")
+    verify.add_argument(
+        "--engine", dest="query_engine", default=None, help="filter rows"
+    )
+    verify.add_argument("--seed", type=int, default=None, help="filter rows")
+    verify.add_argument(
+        "--unverified",
+        action="store_true",
+        help="only re-check rows without a verdict",
+    )
+    verify.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="also re-check rows recorded by other code versions",
+    )
+    verify.add_argument(
+        "--limit", type=_positive_int, default=None, help="re-check at most N rows"
+    )
+    verify.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report flagged rows without updating stored verdicts",
+    )
+    verify.add_argument(
+        "--diff",
+        action="store_true",
+        help="run the differential sample: each cell executed under every "
+        "engine, runs compared field by field (includes a size-reduced "
+        "scale-family instance)",
+    )
+    verify.add_argument(
+        "--algorithms",
+        type=_str_list,
+        default=None,
+        help="restrict --diff to these algorithms (comma-separated)",
+    )
+    verify.add_argument(
+        "--workloads",
+        type=_str_list,
+        default=None,
+        help="restrict --diff to these workloads (comma-separated)",
+    )
+    verify.add_argument("-v", "--verbose", action="store_true")
+    verify.set_defaults(func=cmd_verify)
 
     return parser
 

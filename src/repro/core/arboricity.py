@@ -612,6 +612,7 @@ _registry.register(
         color_bound="Delta + O(a)",
         rounds_bound="O(a * log n)",
         runner=_run_thm52,
+        invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("arboricity", "q"),
     )
@@ -625,6 +626,7 @@ _registry.register(
         color_bound="Delta + O(sqrt(Delta*a)) + O(a)",
         rounds_bound="O(sqrt(a) * log n)",
         runner=_run_thm53,
+        invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("arboricity", "q"),
     )
@@ -638,6 +640,7 @@ _registry.register(
         color_bound="(Delta^(1/x) + a_hat^(1/x) + 3)^x",
         rounds_bound="O(a_hat^(1/x) * (x + log n / log q))",
         runner=_run_thm54,
+        invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("x", "arboricity", "q"),
     )
@@ -651,6 +654,7 @@ _registry.register(
         color_bound="Delta * (1 + o(1)) for a = o(Delta)",
         rounds_bound="O(log n) for a = O(Delta^(1-eps))",
         runner=_run_cor55,
+        invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("arboricity",),
     )

@@ -267,5 +267,6 @@ _registry.register(
         rounds_bound="O~(x * Delta^(1/(2x+2)) + log* n)",
         runner=_run_cd,
         params=("x",),
+        invariants=("proper-edge-coloring", "palette-bound", "clique-decomposition"),
     )
 )

@@ -223,6 +223,7 @@ _registry.register(
         color_bound="4*Delta",
         rounds_bound="O~(Delta^(1/4) + log* n)",
         runner=_run_star4,
+        invariants=("proper-edge-coloring", "palette-bound", "star-partition"),
     )
 )
 _registry.register(
@@ -235,5 +236,6 @@ _registry.register(
         rounds_bound="O~(x * Delta^(1/(2x+2)) + log* n)",
         runner=_run_star,
         params=("x", "t"),
+        invariants=("proper-edge-coloring", "palette-bound", "star-partition"),
     )
 )

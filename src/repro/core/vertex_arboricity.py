@@ -148,6 +148,7 @@ _registry.register(
         color_bound="Delta + 1",
         rounds_bound="O((sqrt(d_hat) + d_hat) * log n)",
         runner=_run_vertex_arboricity,
+        invariants=("proper-vertex-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("arboricity", "q"),
     )

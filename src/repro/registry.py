@@ -62,6 +62,9 @@ class AlgorithmSpec:
     ``bounded-arboricity``); purely informational for callers assembling
     workloads. ``params`` lists the keyword arguments the runner accepts —
     :func:`run` rejects anything else eagerly so campaign grids fail fast.
+    ``invariants`` names the :mod:`repro.verify` oracles this algorithm's
+    output must satisfy; an empty tuple falls back to the kind-level
+    defaults (properness + claimed palette bound) at verification time.
     """
 
     name: str
@@ -74,6 +77,7 @@ class AlgorithmSpec:
     requires: Tuple[str, ...] = ()
     params: Tuple[str, ...] = ()
     distributed: bool = True
+    invariants: Tuple[str, ...] = ()
 
 
 _REGISTRY: Dict[str, AlgorithmSpec] = {}

@@ -56,14 +56,22 @@ class RunCache:
             code_version=self.code_version,
         )
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str, require_verdict: bool = False) -> Optional[Dict[str, Any]]:
         """The cached campaign row under ``key``, or ``None`` on a miss.
-        Errored rows are misses by design (retry semantics)."""
+        Errored rows are misses by design (retry semantics), and with
+        ``require_verdict`` so are rows without a verification verdict
+        (migrated schema-v1 stores, ``verify=False`` campaigns): a
+        verifying campaign must not serve unverified results as hits —
+        re-executing them is what backfills their verdicts."""
         if self.refresh:
             self.misses += 1
             return None
         stored = self.store.get(key)
-        if stored is None or stored.get("error") is not None:
+        if (
+            stored is None
+            or stored.get("error") is not None
+            or (require_verdict and stored.get("verdict") is None)
+        ):
             self.misses += 1
             return None
         self.hits += 1
@@ -117,6 +125,8 @@ class RunCache:
                 "rounds_modeled": row.get("rounds_modeled"),
                 "messages": messages if isinstance(messages, int) else None,
                 "verified": row.get("verified"),
+                "verdict": row.get("verdict"),
+                "violation": row.get("violation"),
                 "error": row.get("error"),
                 "wall_ms": row.get("wall_ms"),
                 "extra": dict(extra) if isinstance(extra, Mapping) else {},
@@ -149,6 +159,8 @@ def _campaign_row(stored: Mapping[str, Any]) -> Dict[str, Any]:
         "wall_ms": stored.get("wall_ms"),
         "extra": dict(stored.get("extra") or {}),
         "verified": stored.get("verified"),
+        "verdict": stored.get("verdict"),
+        "violation": stored.get("violation"),
         "error": None,
         "cached": True,
         "run_key": stored["run_key"],

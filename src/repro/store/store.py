@@ -25,7 +25,7 @@ from repro.errors import InvalidParameterError
 
 PathLike = Union[str, Path]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Columns whose values are deterministic given the run key — no
 #: wall-clock, no timestamps. Resume/uninterrupted comparisons and the
@@ -48,6 +48,8 @@ STABLE_COLUMNS = (
     "rounds_modeled",
     "messages",
     "verified",
+    "verdict",
+    "violation",
     "error",
 )
 
@@ -79,6 +81,8 @@ CREATE TABLE IF NOT EXISTS runs (
     rounds_modeled  REAL,
     messages        INTEGER,
     verified        INTEGER,
+    verdict         TEXT,
+    violation       TEXT,
     error           TEXT,
     wall_ms         REAL,
     extra           TEXT,
@@ -99,7 +103,13 @@ _FILTERS = (
     "engine",
     "kind",
     "code_version",
+    "verdict",
 )
+
+#: Columns schema v1 (PR 2/3 stores) lacks; the v1 -> v2 migration adds
+#: them with NULL values, i.e. every pre-existing row starts *unverified*
+#: and ``repro verify`` / the next campaign fills the verdicts in.
+_V2_COLUMNS = ("verdict TEXT", "violation TEXT")
 
 
 def stable_row(row: Mapping[str, Any]) -> Dict[str, Any]:
@@ -140,11 +150,41 @@ class ExperimentStore:
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
-            if int(row["value"]) != SCHEMA_VERSION:
+            version = int(row["value"])
+            if version == 1:
+                version = self._migrate_v1_to_v2()
+            if version != SCHEMA_VERSION:
                 raise InvalidParameterError(
-                    f"{self.path}: store schema version {row['value']} "
+                    f"{self.path}: store schema version {version} "
                     f"!= supported {SCHEMA_VERSION}"
                 )
+
+    def _migrate_v1_to_v2(self) -> int:
+        """Upgrade a PR-3-era store in place: add the ``verdict`` and
+        ``violation`` columns (NULL for every pre-existing row — they are
+        unverified until a campaign or ``repro verify`` revisits them).
+        Every other column is untouched, so v1 query results reproduce
+        byte-identically on the pre-existing column set. Idempotent under
+        concurrent first-opens (duplicate-column errors mean the other
+        writer won)."""
+        existing = {
+            raw[1] for raw in self._conn.execute("PRAGMA table_info(runs)").fetchall()
+        }
+        for column in _V2_COLUMNS:
+            if column.split()[0] in existing:
+                continue
+            try:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column}")
+            except sqlite3.OperationalError as exc:  # pragma: no cover - race
+                # Only a racing writer's completed ALTER is ignorable; a
+                # lock timeout here must not stamp v2 without the columns.
+                if "duplicate column" not in str(exc).lower():
+                    raise
+        self._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
+        return SCHEMA_VERSION
 
     def close(self) -> None:
         self._conn.close()
@@ -211,11 +251,14 @@ class ExperimentStore:
         self,
         order_by: str = "run_key",
         include_errors: bool = True,
+        unverified: bool = False,
         **filters: Any,
     ) -> List[Dict[str, Any]]:
-        """Rows matching the equality ``filters`` (any of
-        ``algorithm, family, workload, seed, engine, kind, code_version``),
-        ordered deterministically."""
+        """Rows matching the equality ``filters`` (any of ``algorithm,
+        family, workload, seed, engine, kind, code_version, verdict``),
+        ordered deterministically. ``unverified=True`` restricts to rows
+        with no verdict yet (pre-migration rows, ``verify=False``
+        campaigns) — the ``repro verify`` work queue."""
         unknown = set(filters) - set(_FILTERS)
         if unknown:
             raise InvalidParameterError(
@@ -232,6 +275,8 @@ class ExperimentStore:
             values.append(value)
         if not include_errors:
             clauses.append("error IS NULL")
+        if unverified:
+            clauses.append("verdict IS NULL")
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         cursor = self._conn.execute(
             f"SELECT * FROM runs{where} ORDER BY {order_by}, run_key", values
@@ -249,26 +294,48 @@ class ExperimentStore:
 
     # -- maintenance -------------------------------------------------------
 
+    def set_verdict(
+        self, run_key: str, verdict: Optional[str], violation: Optional[str] = None
+    ) -> bool:
+        """Update one row's verification columns in place (the ``repro
+        verify`` re-check path). The legacy ``verified`` flag is kept
+        derived (``verdict == 'ok'``) so a re-checked row can never read
+        ``verified`` and ``verdict`` contradictorily. Returns False when
+        the key is absent."""
+        verified = None if verdict is None else int(verdict == "ok")
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE runs SET verdict = ?, violation = ?, verified = ? "
+                "WHERE run_key = ?",
+                (verdict, violation, verified, run_key),
+            )
+        return cursor.rowcount > 0
+
     def gc(
         self,
         keep_code_version: Optional[str] = None,
         drop_errors: bool = True,
+        drop_failed: bool = False,
         dry_run: bool = False,
         unseeded_workloads: Optional[Sequence[str]] = None,
     ) -> int:
         """Delete unreachable rows: entries from other code versions (their
         keys can never hit again), by default errored cells (so the next
-        campaign retries them), and — when ``unseeded_workloads`` names
-        the deterministic-topology workloads — rows stored under a nonzero
-        seed for those workloads. Run keys normalize the seed of unseeded
-        workloads to 0, so such rows predate that normalization and can
-        never be addressed again. Returns the affected row count."""
+        campaign retries them), optionally rows whose verification verdict
+        is ``fail`` (``drop_failed`` — so the next campaign recomputes
+        them with the fixed build), and — when ``unseeded_workloads``
+        names the deterministic-topology workloads — rows stored under a
+        nonzero seed for those workloads. Run keys normalize the seed of
+        unseeded workloads to 0, so such rows predate that normalization
+        and can never be addressed again. Returns the affected row count."""
         clauses, values = [], []
         if keep_code_version is not None:
             clauses.append("code_version != ?")
             values.append(keep_code_version)
         if drop_errors:
             clauses.append("error IS NOT NULL")
+        if drop_failed:
+            clauses.append("verdict = 'fail'")
         if unseeded_workloads:
             names = sorted(unseeded_workloads)
             placeholders = ", ".join("?" for _ in names)

@@ -223,6 +223,7 @@ _registry.register(
         color_bound="3",
         rounds_bound="O(log* n)",
         runner=_run_cole_vishkin,
+        invariants=("proper-vertex-coloring", "palette-bound"),
         requires=("forest",),
     )
 )

@@ -159,6 +159,7 @@ _registry.register(
         color_bound="ceil(log_{q/2} n) levels of degree <= ceil(q*a)",
         rounds_bound="O(log n)",
         runner=_run_h_partition,
+        invariants=("h-partition",),
         requires=("bounded-arboricity",),
         params=("arboricity", "q"),
     )

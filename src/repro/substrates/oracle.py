@@ -185,6 +185,7 @@ _registry.register(
         color_bound="Delta + 1",
         rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
         runner=_run_oracle_vertex,
+        invariants=("proper-vertex-coloring", "palette-bound"),
     )
 )
 _registry.register(
@@ -196,5 +197,6 @@ _registry.register(
         color_bound="2*Delta - 1",
         rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
         runner=_run_oracle_edge,
+        invariants=("proper-edge-coloring", "palette-bound"),
     )
 )

@@ -289,3 +289,97 @@ class TestParityAtModerateScale:
 
         graph = star_forest_stack(6, 30, 3, seed=17)
         assert_same_run(*run_both("thm52", graph, arboricity=3))
+
+
+class TestPipelineOutputParity:
+    """PR 4 satellite: output-equality (not just round-count) assertions
+    for the arboricity and star-partition pipelines at the pipeline API
+    level — the per-edge/per-vertex dicts and the intermediate structures
+    (H-partition index, induced orientation) must be identical under both
+    engines, and the shared output must pass the invariant oracles."""
+
+    @staticmethod
+    def _under(engine_name, fn):
+        from repro.engine import use_engine
+
+        with use_engine(engine_name):
+            return fn()
+
+    @pytest.mark.parametrize("x", (1, 2))
+    def test_star_partition_pipeline_outputs(self, x):
+        from repro.core import star_partition_edge_coloring
+        from repro.verify import verify_star_partition
+
+        graph = random_regular(24, 8, seed=3)
+        ref = self._under("reference", lambda: star_partition_edge_coloring(graph, x=x))
+        vec = self._under("vector", lambda: star_partition_edge_coloring(graph, x=x))
+        assert vec.coloring == ref.coloring  # the full per-edge dict
+        assert vec.colors_used == ref.colors_used
+        assert vec.palette_bound == ref.palette_bound
+        assert vec.target_colors == ref.target_colors
+        assert vec.rounds_actual == ref.rounds_actual
+        # The shared output is a valid (p, 1)-star-partition of E(G).
+        classes = {}
+        for edge, color in ref.coloring.items():
+            classes.setdefault(color, []).append(edge)
+        assert verify_star_partition(graph, classes, q=1)
+
+    def test_four_delta_pipeline_outputs(self):
+        from repro.core import four_delta_edge_coloring
+
+        graph = erdos_renyi(30, 0.2, seed=5)
+        ref = self._under("reference", lambda: four_delta_edge_coloring(graph))
+        vec = self._under("vector", lambda: four_delta_edge_coloring(graph))
+        assert vec.coloring == ref.coloring
+        assert vec.colors_used == ref.colors_used
+
+    def test_h_partition_structures_identical(self):
+        from repro.graphs import star_forest_stack
+        from repro.substrates.hpartition import h_partition
+
+        graph = star_forest_stack(6, 20, 2, seed=7)
+        ref = self._under("reference", lambda: h_partition(graph, arboricity=2))
+        vec = self._under("vector", lambda: h_partition(graph, arboricity=2))
+        assert vec.index == ref.index  # the full per-vertex level dict
+        assert vec.threshold == ref.threshold
+        assert vec.num_levels == ref.num_levels
+        # ... and the orientation both engines induce is the same digraph.
+        assert ref.orientation().head == vec.orientation().head
+
+    @pytest.mark.parametrize("algorithm", ("thm52", "thm53", "cor55"))
+    def test_arboricity_pipeline_outputs(self, algorithm):
+        from repro.core import (
+            edge_color_bounded_arboricity,
+            edge_color_delta_plus_o_delta,
+            edge_color_orientation_connector,
+        )
+
+        fn = {
+            "thm52": edge_color_bounded_arboricity,
+            "thm53": edge_color_orientation_connector,
+            "cor55": edge_color_delta_plus_o_delta,
+        }[algorithm]
+        from repro.graphs import star_forest_stack
+
+        graph = star_forest_stack(5, 16, 2, seed=11)
+        ref = self._under("reference", lambda: fn(graph, arboricity=2))
+        vec = self._under("vector", lambda: fn(graph, arboricity=2))
+        assert vec.coloring == ref.coloring
+        assert vec.colors_used == ref.colors_used
+        assert vec.palette_bound == ref.palette_bound
+        assert vec.dhat == ref.dhat
+        assert vec.rounds_actual == ref.rounds_actual
+
+    def test_thm54_recursive_pipeline_outputs(self):
+        from repro.core import edge_color_recursive
+
+        graph = random_regular(20, 5, seed=9)
+        ref = self._under(
+            "reference", lambda: edge_color_recursive(graph, x=2, arboricity=3)
+        )
+        vec = self._under(
+            "vector", lambda: edge_color_recursive(graph, x=2, arboricity=3)
+        )
+        assert vec.coloring == ref.coloring
+        assert vec.colors_used == ref.colors_used
+        assert vec.palette_bound == ref.palette_bound

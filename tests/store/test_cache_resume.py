@@ -102,15 +102,20 @@ class TestCacheHitMiss:
             # only the addressable cell was persisted
             assert len(store) == 1
 
-    def test_decomposition_cells_are_not_marked_verified(self, tmp_path):
+    def test_decomposition_cells_get_structural_verdicts(self, tmp_path):
+        # PR 4: decompositions are no longer unverifiable — h-partition
+        # declares the level-degree/orientation oracle.
         cells = [CampaignCell("h-partition", "star-forest-stack",
                               {"n_centers": 4, "leaves_per_center": 8, "a": 2},
                               algo_params={"arboricity": 2})]
         with ExperimentStore(tmp_path / "runs.db") as store:
             rows, _ = _run(store, cells=cells)
             assert rows[0]["kind"] == "decomposition"
-            assert rows[0]["verified"] is False
-            assert store.query()[0]["verified"] is False
+            assert rows[0]["verdict"] == "ok"
+            assert rows[0]["verified"] is True
+            stored = store.query()[0]
+            assert stored["verdict"] == "ok"
+            assert stored["violation"] is None
 
     def test_pool_and_inline_agree(self, tmp_path):
         strip = lambda rows: [

@@ -124,3 +124,85 @@ class TestEngineJobsDefaults:
             ["sweep", "--algorithm", "greedy", "--jobs", "3"]
         )
         assert _resolve_jobs(args) == 3
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def small_store(self, tmp_path):
+        path = tmp_path / "runs.db"
+        assert main([
+            "campaign", "cells", "--store", str(path),
+            "--algorithms", "star4,greedy", "--workloads", "random-regular",
+            "--seeds", "0", "--jobs", "1",
+        ]) == 0
+        return path
+
+    def test_requires_store_or_diff(self):
+        with pytest.raises(SystemExit, match="--store and/or --diff"):
+            main(["verify"])
+
+    def test_clean_store_passes(self, small_store, capsys):
+        assert main(["verify", "--store", str(small_store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 rows re-checked, 0 flagged" in out
+
+    def test_corrupted_row_flagged_and_recorded(self, small_store, capsys):
+        import sqlite3
+
+        conn = sqlite3.connect(small_store)
+        key = conn.execute(
+            "SELECT run_key FROM runs WHERE algorithm='star4'"
+        ).fetchone()[0]
+        conn.execute(
+            "UPDATE runs SET colors_used = colors_used + 9 WHERE run_key = ?",
+            (key,),
+        )
+        conn.commit()
+        conn.close()
+        assert main(["verify", "--store", str(small_store)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("FLAGGED") == 1
+        assert key[:12] in out
+        # the verdict landed in the store: query --verdict fail finds it,
+        # gc --failed collects it
+        assert main([
+            "query", "--store", str(small_store), "--verdict", "fail",
+        ]) == 0
+        assert "(1 rows)" in capsys.readouterr().out
+        assert main([
+            "gc", "--store", str(small_store), "--failed", "--keep-errors",
+        ]) == 0
+        assert "deleted 1 of 2 rows" in capsys.readouterr().out
+
+    def test_unverified_queue(self, small_store, capsys):
+        import sqlite3
+
+        conn = sqlite3.connect(small_store)
+        conn.execute("UPDATE runs SET verdict = NULL, violation = NULL")
+        conn.commit()
+        conn.close()
+        assert main([
+            "query", "--store", str(small_store), "--unverified",
+        ]) == 0
+        assert "(2 rows)" in capsys.readouterr().out
+        assert main([
+            "verify", "--store", str(small_store), "--unverified",
+        ]) == 0
+        capsys.readouterr()
+        # the backlog is now empty
+        assert main([
+            "query", "--store", str(small_store), "--unverified",
+        ]) == 0
+        assert "(0 rows)" in capsys.readouterr().out
+
+    def test_diff_filters_and_runs(self, capsys):
+        assert main([
+            "verify", "--diff", "--algorithms", "star4",
+            "--workloads", "random-regular",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 cells x engines (reference, vector), 0 diverged" in out
+
+    def test_diff_unknown_filter_rejected(self):
+        with pytest.raises(SystemExit, match="no differential cells match"):
+            main(["verify", "--diff", "--algorithms", "nope"])

@@ -1,0 +1,214 @@
+"""The oracle registry: resolution through the algorithm registry,
+verdicts, palette bounds, and the structural oracles."""
+
+import dataclasses
+
+import networkx as nx
+import pytest
+
+from repro import registry
+from repro.errors import InvalidParameterError
+from repro.graphs import random_regular, star_forest_stack
+from repro.verify import (
+    OracleContext,
+    claimed_palette_bound,
+    get_oracle,
+    oracle_names,
+    oracles_for,
+    verify_run,
+)
+
+BUILTIN_ORACLES = (
+    "proper-vertex-coloring",
+    "proper-edge-coloring",
+    "palette-bound",
+    "star-partition",
+    "h-partition",
+    "clique-decomposition",
+    "defective-coloring",
+)
+
+
+class TestRegistry:
+    def test_builtin_oracles_registered(self):
+        names = oracle_names()
+        for name in BUILTIN_ORACLES:
+            assert name in names
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown invariant oracle"):
+            get_oracle("no-such-oracle")
+
+    def test_every_algorithm_resolves_oracles(self):
+        for spec in registry.specs():
+            oracles = oracles_for(spec.name)
+            if spec.kind in ("edge-coloring", "vertex-coloring"):
+                assert oracles, f"{spec.name} has no applicable oracle"
+
+    def test_declared_invariants_win_over_kind_defaults(self):
+        assert [o.name for o in oracles_for("star4")] == [
+            "proper-edge-coloring",
+            "palette-bound",
+            "star-partition",
+        ]
+        assert [o.name for o in oracles_for("h-partition")] == ["h-partition"]
+
+
+class TestVerdicts:
+    def test_ok_on_valid_run(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("star4", g)
+        verdict = verify_run(g, run)
+        assert verdict.status == "ok"
+        assert verdict.ok
+        assert verdict.violation is None
+        assert "star-partition" in verdict.checks
+
+    def test_fail_on_corrupted_properness(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("star4", g)
+        edges = sorted(run.coloring)
+        # Force a shared-endpoint conflict: recolor one edge like a
+        # neighbor of its endpoint.
+        u, v = edges[0]
+        other = next(e for e in edges[1:] if u in e or v in e)
+        run.coloring[edges[0]] = run.coloring[other]
+        verdict = verify_run(g, run)
+        assert verdict.status == "fail"
+        assert "proper-edge-coloring" in verdict.violation
+
+    def test_fail_on_palette_overflow(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("greedy", g)
+        # Recolor every edge distinctly and keep colors_used honest: the
+        # coloring genuinely exceeds the 2*Delta-1 claim.
+        coloring = {e: i for i, e in enumerate(sorted(run.coloring))}
+        run = dataclasses.replace(run, coloring=coloring, colors_used=len(coloring))
+        verdict = verify_run(g, run)
+        assert verdict.status == "fail"
+        assert "palette-bound" in verdict.violation
+        assert "claimed bound" in verdict.violation
+
+    def test_fail_on_misreported_color_count(self):
+        # The oracle recounts the coloring itself — a runner that
+        # underreports colors_used cannot self-certify its bound.
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("greedy", g)
+        run = dataclasses.replace(run, colors_used=1)
+        verdict = verify_run(g, run)
+        assert verdict.status == "fail"
+        assert "distinct colors" in verdict.violation
+
+    def test_fail_on_missing_assignment(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("greedy-vertex", g)
+        del run.coloring[next(iter(run.coloring))]
+        verdict = verify_run(g, run)
+        assert verdict.status == "fail"
+        assert "uncolored" in verdict.violation
+
+    def test_multiple_violations_joined(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("star4", g)
+        del run.coloring[next(iter(sorted(run.coloring)))]
+        verdict = verify_run(g, run)
+        # Both the properness and the star-partition views notice.
+        assert verdict.status == "fail"
+        assert "proper-edge-coloring" in verdict.violation
+        assert "star-partition" in verdict.violation
+
+
+class TestPaletteBounds:
+    def _ctx(self, g, run, params=None):
+        return OracleContext(
+            graph=g,
+            kind=run.kind,
+            coloring=run.coloring,
+            colors_used=run.colors_used,
+            extra=run.extra,
+            params=params or {},
+            algorithm=run.name,
+        )
+
+    def test_star4_bound_is_four_delta(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("star4", g)
+        assert claimed_palette_bound("star4", self._ctx(g, run)) == 24
+
+    def test_star_bound_scales_with_x(self):
+        g = random_regular(24, 8, seed=3)
+        run = registry.run("star", g, x=2)
+        bound = claimed_palette_bound("star", self._ctx(g, run, {"x": 2}))
+        assert bound == 2**3 * 8
+
+    def test_section5_bound_comes_from_result_extra(self):
+        g = star_forest_stack(4, 12, 2, seed=0)
+        run = registry.run("thm52", g)
+        bound = claimed_palette_bound("thm52", self._ctx(g, run))
+        assert bound == run.extra["palette_bound"]
+        assert run.colors_used <= bound
+
+    def test_asymptotic_only_algorithms_declare_no_bound(self):
+        g = random_regular(24, 6, seed=1)
+        run = registry.run("linial", g)
+        assert claimed_palette_bound("linial", self._ctx(g, run)) is None
+        # ... and the palette oracle is inapplicable: the verdict is ok
+        # and its checks provenance does NOT claim a palette check ran.
+        verdict = verify_run(g, run)
+        assert verdict.status == "ok"
+        assert "palette-bound" not in verdict.checks
+        assert "proper-vertex-coloring" in verdict.checks
+
+    def test_empty_graph_bounds(self):
+        g = nx.Graph()
+        run = registry.run("greedy", g)
+        verdict = verify_run(g, run)
+        assert verdict.status == "ok"
+
+
+class TestStructuralOracles:
+    def test_h_partition_fail_on_corrupted_levels(self):
+        g = star_forest_stack(4, 8, 2, seed=0)
+        run = registry.run("h-partition", g, arboricity=2)
+        # Collapse every vertex into level 1: the level-degree bound breaks
+        # at any vertex of degree > threshold.
+        for v in run.coloring:
+            run.coloring[v] = 1
+        verdict = verify_run(g, run, params={"arboricity": 2})
+        assert verdict.status == "fail"
+        assert "h-partition" in verdict.violation
+
+    def test_missing_threshold_extra_fails_loudly(self):
+        g = star_forest_stack(4, 8, 2, seed=0)
+        run = registry.run("h-partition", g, arboricity=2)
+        run.extra.pop("threshold")
+        verdict = verify_run(g, run)
+        # The oracle cannot silently pass when its certificate is missing.
+        assert verdict.status == "fail"
+        assert "threshold" in verdict.violation
+
+    def test_skip_when_algorithm_declares_nothing(self):
+        from repro.registry import AlgorithmRun, AlgorithmSpec
+
+        def _runner(graph):
+            return AlgorithmRun(
+                name="_test-decomp", kind="decomposition", coloring={}, colors_used=0
+            )
+
+        spec = AlgorithmSpec(
+            name="_test-decomp",
+            family="baseline",
+            kind="decomposition",
+            summary="test-only",
+            color_bound="-",
+            rounds_bound="-",
+            runner=_runner,
+        )
+        registry.register(spec)
+        try:
+            g = nx.Graph()
+            verdict = verify_run(g, _runner(g))
+            assert verdict.status == "skip"
+            assert verdict.checks == ()
+        finally:
+            registry._REGISTRY.pop("_test-decomp", None)

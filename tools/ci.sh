@@ -93,10 +93,51 @@ python -m repro query --store "$SMOKE_DIR/stream_clean.db" --format json --out "
 cmp "$SMOKE_DIR/stream_killed.json" "$SMOKE_DIR/stream_clean.json"
 echo "streaming smoke: 24/24 out-of-order cells durable at SIGKILL; resumed store byte-identical"
 
+echo "== verify smoke: campaign verdicts, corruption detection =="
+# A small campaign must persist a non-null 'ok' verdict for every cell;
+# after corrupting exactly one stored row, `repro verify` must flag
+# exactly that row (and nothing else) and exit nonzero.
+python -m repro campaign cells --store "$SMOKE_DIR/verify.db" \
+  --algorithms star4,greedy --workloads random-regular,planar-grid \
+  --seeds 0,1 --jobs 2 >/dev/null
+python - "$SMOKE_DIR/verify.db" <<'EOF'
+import sys
+from repro.store import ExperimentStore
+with ExperimentStore(sys.argv[1]) as store:
+    rows = store.query()
+    assert rows, "verify smoke stored no rows"
+    bad = [r for r in rows if r["verdict"] != "ok" or r["violation"] is not None]
+    assert not bad, f"rows without an ok verdict: {bad}"
+    assert not store.query(unverified=True), "unverified rows after a campaign"
+print(f"{len(rows)} campaign rows persisted with verdict=ok")
+EOF
+CORRUPT_KEY=$(python - "$SMOKE_DIR/verify.db" <<'EOF'
+import sqlite3, sys
+conn = sqlite3.connect(sys.argv[1])
+key = conn.execute(
+    "SELECT run_key FROM runs WHERE algorithm='star4' ORDER BY run_key LIMIT 1"
+).fetchone()[0]
+conn.execute("UPDATE runs SET colors_used = colors_used + 7 WHERE run_key = ?", (key,))
+conn.commit()
+print(key)
+EOF
+)
+if python -m repro verify --store "$SMOKE_DIR/verify.db" > "$SMOKE_DIR/verify.out"; then
+  echo "FAIL: repro verify exited 0 on a corrupted store"; exit 1
+fi
+FLAGGED=$(grep -c '^FLAGGED' "$SMOKE_DIR/verify.out" || true)
+if [ "$FLAGGED" -ne 1 ] || ! grep -q "${CORRUPT_KEY:0:12}" "$SMOKE_DIR/verify.out"; then
+  echo "FAIL: expected exactly the corrupted row flagged, got:"; cat "$SMOKE_DIR/verify.out"; exit 1
+fi
+python -m repro verify --diff --algorithms star4 --workloads random-regular >/dev/null
+echo "verify smoke: corrupted row flagged exactly; differential engines agree"
+
 # Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
-# streaming executor's kill-loss and overhead (BENCH_stream.json).
+# streaming executor's kill-loss and overhead (BENCH_stream.json);
+# bench_verify gates invariant-verification overhead (BENCH_verify.json).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
+  python benchmarks/bench_verify.py
   python benchmarks/bench_stream.py
   python benchmarks/bench_store_cache.py
   python benchmarks/bench_engine_comparison.py
