@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Benchmark: the compact graph core against the networkx pipeline.
+
+Two gates, one informational section, written to ``BENCH_graphcore.json``
+(nonzero exit if a gate fails):
+
+* **conversion-skip** — time from a cold workload reference to a
+  completed ``VectorEngine`` pass over every node of the scale family's
+  ``scale-regular`` instance (50k nodes, Delta 8). The nx pipeline pays
+  ``workloads.build`` (networkx generation) plus the engine's per-node
+  nx-adjacency walk on every run; the graph-store pipeline memory-maps a
+  prebuilt ``.csrg`` and feeds the engine its native CSR path. Gate:
+  the compact pipeline is >= ``--require-speedup`` (default 2.0) times
+  faster. (The one-time ``.csrg`` build cost is reported, not gated —
+  amortized across every later run of the same content-addressed file.)
+* **build-rss** — peak RSS of building a 1,000,000-node planar grid in a
+  fresh subprocess: ``graphcore.build_grid`` (CSR arrays) vs
+  ``graphs.planar_grid`` (networkx). Gate: the CSR build peaks below
+  half the networkx build.
+* **xl timings** (informational) — build/save/mmap-load wall times for
+  the 1M-node grid in this process.
+
+Run:  PYTHONPATH=src python benchmarks/bench_graphcore.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import workloads
+from repro.engine import get_engine
+from repro.graphcore import CompactGraph, build_grid, load, save
+from repro.local import NodeAlgorithm
+
+SCALE_WORKLOAD = "scale-regular"  # 50k nodes, d=8 at registered defaults
+REPEATS = 3
+
+_CHILD_TEMPLATE = """\
+import resource, sys
+sys.path.insert(0, {src!r})
+{body}
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+_CSR_BODY = "from repro.graphcore import build_grid; g = build_grid(1000, 1000)"
+_NX_BODY = "from repro.graphs import planar_grid; g = planar_grid(1000, 1000)"
+
+
+class _HaltAtInit(NodeAlgorithm):
+    """Zero-round probe: the run is pure graph ingestion + one engine
+    sweep, no algorithm wall time to drown the measurement in."""
+
+    def initialize(self, node, ctx):
+        node.state["output"] = 0
+        node.halt()
+
+    def step(self, node, inbox, round_no, ctx):  # pragma: no cover
+        node.halt()
+
+
+def _best(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def bench_conversion_skip(csrg_path: Path) -> dict:
+    engine = get_engine("vector")
+
+    def nx_pipeline():
+        graph = workloads.build(SCALE_WORKLOAD, seed=0)
+        engine.run(graph, _HaltAtInit())
+
+    def compact_pipeline():
+        graph = load(csrg_path, mmap=True)
+        engine.run(graph, _HaltAtInit())
+
+    build_started = time.perf_counter()
+    compact = CompactGraph.from_networkx(workloads.build(SCALE_WORKLOAD, seed=0))
+    digest = save(compact, csrg_path)
+    one_time_build_s = time.perf_counter() - build_started
+
+    nx_s = _best(nx_pipeline)
+    compact_s = _best(compact_pipeline)
+    return {
+        "workload": SCALE_WORKLOAD,
+        "n": compact.n,
+        "m": compact.m,
+        "digest": digest,
+        "nx_pipeline_s": nx_s,
+        "compact_pipeline_s": compact_s,
+        "one_time_csrg_build_s": one_time_build_s,
+        "speedup": nx_s / compact_s if compact_s > 0 else float("inf"),
+    }
+
+
+def _child_rss_kib(body: str) -> int:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    script = _CHILD_TEMPLATE.format(src=src, body=body)
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    )
+    return int(out.stdout.strip().splitlines()[-1])
+
+
+def bench_build_rss() -> dict:
+    csr_kib = _child_rss_kib(_CSR_BODY)
+    nx_kib = _child_rss_kib(_NX_BODY)
+    return {
+        "nodes": 1_000_000,
+        "csr_peak_rss_kib": csr_kib,
+        "nx_peak_rss_kib": nx_kib,
+        "ratio": nx_kib / csr_kib if csr_kib else float("inf"),
+    }
+
+
+def bench_xl_timings(tmp: Path) -> dict:
+    path = tmp / "xl-grid.csrg"
+    started = time.perf_counter()
+    graph = build_grid(1000, 1000)
+    build_s = time.perf_counter() - started
+    started = time.perf_counter()
+    save(graph, path)
+    save_s = time.perf_counter() - started
+    started = time.perf_counter()
+    mapped = load(path, mmap=True)
+    mmap_load_s = time.perf_counter() - started
+    return {
+        "n": mapped.n,
+        "m": mapped.m,
+        "file_bytes": path.stat().st_size,
+        "build_s": build_s,
+        "save_s": save_s,
+        "mmap_load_s": mmap_load_s,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require-speedup", type=float, default=2.0)
+    parser.add_argument("--require-rss-ratio", type=float, default=2.0)
+    parser.add_argument("--out", default="BENCH_graphcore.json")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        conversion = bench_conversion_skip(Path(tmp) / "scale.csrg")
+        xl = bench_xl_timings(Path(tmp))
+    rss = bench_build_rss()
+
+    gates = {
+        "conversion_skip_speedup": {
+            "required": args.require_speedup,
+            "measured": conversion["speedup"],
+            "passed": conversion["speedup"] >= args.require_speedup,
+        },
+        "million_node_build_rss": {
+            "required": args.require_rss_ratio,
+            "measured": rss["ratio"],
+            "passed": rss["ratio"] >= args.require_rss_ratio,
+        },
+    }
+    payload = {
+        "benchmark": "graphcore",
+        "conversion_skip": conversion,
+        "build_rss": rss,
+        "xl_grid_timings": xl,
+        "gates": gates,
+        "passed": all(g["passed"] for g in gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    print(
+        f"conversion-skip ({SCALE_WORKLOAD}): nx {conversion['nx_pipeline_s']:.2f}s "
+        f"vs compact {conversion['compact_pipeline_s']:.2f}s "
+        f"-> {conversion['speedup']:.1f}x (gate {args.require_speedup}x)"
+    )
+    print(
+        f"1M-node build RSS: csr {rss['csr_peak_rss_kib'] // 1024} MiB vs "
+        f"nx {rss['nx_peak_rss_kib'] // 1024} MiB -> {rss['ratio']:.1f}x "
+        f"(gate {args.require_rss_ratio}x)"
+    )
+    print(
+        f"xl-grid: build {xl['build_s']:.2f}s, save {xl['save_s']:.2f}s, "
+        f"mmap load {xl['mmap_load_s'] * 1000:.1f}ms, "
+        f"{xl['file_bytes'] // (1 << 20)} MiB on disk"
+    )
+    print(f"wrote {args.out}")
+    if not payload["passed"]:
+        failing = [k for k, g in gates.items() if not g["passed"]]
+        print(f"FAILED gates: {', '.join(failing)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ Public API highlights:
 
 * ``repro.local`` — synchronous LOCAL-model simulator and round ledger.
 * ``repro.graphs`` — generators, clique covers, line graphs, hypergraphs.
+* ``repro.graphcore`` — the compact CSR graph type, the ``.csrg`` on-disk
+  graph store (memory-mapped opens), and streaming million-node builders.
 * ``repro.substrates`` — Linial coloring, reductions, the [17] oracle,
   H-partitions.
 * ``repro.core`` — the paper's contribution: connectors, CD-Coloring
@@ -50,6 +52,7 @@ _LAZY_EXPORTS = {
     "verify_vertex_coloring": "repro.analysis",
     "ColoringOracle": "repro.substrates",
     "line_graph_with_cover": "repro.graphs",
+    "CompactGraph": "repro.graphcore",
 }
 
 

@@ -268,19 +268,29 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     isolated per cell — a failing cell never takes the campaign down."""
     from repro import registry
 
+    from repro.engine import record_engine_runs
+
     row: Dict[str, Any] = _row_base(payload)
     try:
         graph = build_workload(
             payload["workload"], payload["workload_params"], seed=payload["seed"]
         )
         started = time.perf_counter()
-        run = registry.run(
-            payload["algorithm"],
-            graph,
-            engine=payload["engine"],
-            **payload["algo_params"],
-        )
+        with record_engine_runs() as engines_ran:
+            run = registry.run(
+                payload["algorithm"],
+                graph,
+                engine=payload["engine"],
+                **payload["algo_params"],
+            )
         wall_ms = (time.perf_counter() - started) * 1000.0
+        # Provenance honesty: if the cell pinned an engine but a different
+        # scheduler actually executed (the vector engine's tracer fallback),
+        # say so in the row — the store's ``engine`` column must keep the
+        # run-key's pinned value, so the disclosure lives in ``extra``.
+        effective = "+".join(engines_ran)
+        if engines_ran and payload["engine"] and effective != payload["engine"]:
+            run.extra = dict(run.extra, effective_engine=effective)
         verdict: Optional[str] = None
         violation: Optional[str] = None
         if payload.get("verify", True):

@@ -91,6 +91,7 @@ _registry.register(
         runner=_run_greedy,
         invariants=("proper-edge-coloring", "palette-bound"),
         distributed=False,
+        compact_ok=True,  # nodes()/edges()/neighbors() only
     )
 )
 _registry.register(
@@ -104,5 +105,6 @@ _registry.register(
         runner=_run_greedy_vertex,
         invariants=("proper-vertex-coloring", "palette-bound"),
         distributed=False,
+        compact_ok=True,  # nodes()/neighbors() only
     )
 )

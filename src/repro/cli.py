@@ -21,8 +21,15 @@ Subcommands:
   are served from SQLite and a killed campaign resumes with ``--resume``.
   ``--retries N`` re-runs failing cells, ``--progress`` repaints a stderr
   status line (done/total, hit/miss/error counts, ETA).
+* ``graph`` — the compact graph store front-end: ``build`` streams a
+  named workload into a ``.csrg`` CSR file (the xl family never touches
+  networkx), ``info`` prints a file's header and shape, ``convert``
+  moves between edge-list / METIS / ``.csrg`` representations. Saved
+  graphs feed back into ``run --graph FILE.csrg`` (memory-mapped open).
 * ``workloads`` — the declarative workload registry: every named graph
-  scenario with its family and default parameters.
+  scenario with its family and default parameters (``--family`` filters
+  by prefix; scale/xl rows are marked as excluded from the default
+  campaign grid).
 * ``query`` — filter and print rows of an experiment store
   (``--unverified`` / ``--verdict`` select on verification state).
 * ``gc`` — drop unreachable store rows (stale code versions, errors,
@@ -82,8 +89,21 @@ def _verify_run(graph, run: registry.AlgorithmRun, params=None) -> None:
         raise ColoringError(f"{run.name}: {verdict.violation}")
 
 
+def _read_graph_file(path: str):
+    """A graph from disk: ``.csrg`` files open memory-mapped through the
+    graph core, anything else parses as a whitespace edge list."""
+    if str(path).endswith(".csrg"):
+        from repro import graphcore
+
+        return graphcore.load(path, mmap=True)
+    return repro_io.read_edge_list(path)
+
+
 def cmd_info(args: argparse.Namespace) -> int:
-    graph = repro_io.read_edge_list(args.graph)
+    graph = _read_graph_file(args.graph)
+    if hasattr(graph, "to_networkx"):
+        # the structural-parameter helpers below need the nx surface
+        graph = graph.to_networkx()
     bounds = arboricity_bounds(graph)
     print(f"n          = {graph.number_of_nodes()}")
     print(f"m          = {graph.number_of_edges()}")
@@ -143,7 +163,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     params = _algorithm_params(spec, args)
 
     if args.graph:
-        graph = repro_io.read_edge_list(args.graph)
+        graph = _read_graph_file(args.graph)
         run = registry.run(args.algorithm, graph, engine=args.engine, **params)
         _verify_run(graph, run, params=params)
         rows = [
@@ -325,14 +345,10 @@ def _campaign_cells(args: argparse.Namespace) -> int:
 
         cells = grid_cells(
             algorithms=args.algorithms or algo_registry.names(),
-            # The scale tier (>= 50k-node instances) only runs when named
-            # explicitly — the unfiltered default grid must stay cheap.
-            workloads=args.workloads
-            or [
-                spec.name
-                for spec in workload_registry.specs()
-                if spec.family != "scale"
-            ],
+            # The scale/xl tiers (>= 50k / >= 1M-node instances) only run
+            # when named explicitly — the unfiltered default grid must
+            # stay cheap. `repro workloads` marks the excluded rows.
+            workloads=args.workloads or workload_registry.default_grid_names(),
             seeds=args.seeds if args.seeds is not None else [0],
         )
     else:
@@ -424,16 +440,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_workloads(args: argparse.Namespace) -> int:
     from repro import workloads
 
-    specs = workloads.specs(family=args.family)
+    # --family is a *prefix* filter, so e.g. `--family s` selects scale
+    # and `--family x` the xl tier without spelling full family names.
+    specs = [
+        spec
+        for spec in workloads.specs()
+        if args.family is None or spec.family.startswith(args.family)
+    ]
     if not specs:
         print("no workloads match the filter")
         return 1
+    excluded = workloads.EXCLUDED_FROM_DEFAULT_GRID
     if args.json:
         payload = [
             {
                 "name": spec.name,
                 "family": spec.family,
                 "seeded": spec.seeded,
+                "compact": spec.compact,
+                "default_grid": spec.family not in excluded,
                 "defaults": dict(spec.defaults),
                 "summary": spec.summary,
             }
@@ -445,10 +470,98 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     for spec in specs:
         defaults = ", ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
         seeded = "seeded" if spec.seeded else "deterministic"
-        print(f"{spec.name:<{width}}  [{spec.family}/{seeded}] {defaults}")
+        mark = "  [excluded from default grid]" if spec.family in excluded else ""
+        print(f"{spec.name:<{width}}  [{spec.family}/{seeded}] {defaults}{mark}")
         if args.verbose:
             print(f"{'':<{width}}  {spec.summary}")
     return 0
+
+
+def _graph_build(args: argparse.Namespace) -> int:
+    from repro import graphcore, workloads
+
+    if not args.out:
+        raise SystemExit("graph build requires --out")
+    if not args.workload:
+        raise SystemExit("graph build requires --workload")
+    if args.workload not in workloads.names():
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from {workloads.names()}"
+        )
+    graph = workloads.build(
+        args.workload, dict(args.workload_param or ()), seed=args.seed
+    )
+    if not isinstance(graph, graphcore.CompactGraph):
+        graph = graphcore.CompactGraph.from_networkx(graph)
+    digest = graphcore.save(graph, args.out)
+    print(
+        f"wrote {args.out}: n={graph.n} m={graph.m} "
+        f"Delta={graph.max_degree} digest={digest}"
+    )
+    return 0
+
+
+def _graph_info(args: argparse.Namespace) -> int:
+    from repro import graphcore
+
+    if not args.graph:
+        raise SystemExit("graph info requires --graph")
+    info = graphcore.read_info(args.graph)
+    graph = graphcore.load(args.graph, mmap=True)
+    n = info["n"]
+    print(f"path        = {info['path']}")
+    print(f"format      = csrg v{info['version']}")
+    print(f"n           = {n}")
+    print(f"m           = {info['m']}")
+    print(f"Delta       = {graph.max_degree}")
+    print(f"avg degree  = {2 * info['m'] / n if n else 0:.3f}")
+    print(f"digest      = {info['digest']}")
+    print(f"file bytes  = {info['file_bytes']}")
+    print(f"indices     = int{8 * info['indices_itemsize']}")
+    print(f"labels      = {'yes' if info['has_labels'] else 'no'}")
+    print(f"node attrs  = {'yes' if info['has_node_attrs'] else 'no'}")
+    return 0
+
+
+def _graph_convert(args: argparse.Namespace) -> int:
+    from repro import graphcore
+
+    src, dst = args.input, args.out
+    if not src or not dst:
+        raise SystemExit("graph convert requires --in and --out")
+    if src.endswith(".csrg"):
+        graph = graphcore.load(src, mmap=False, verify=True)
+    elif src.endswith((".metis", ".graph")):
+        graph = graphcore.read_metis(src)
+    else:
+        graph = graphcore.read_edge_list(src)
+    if dst.endswith(".csrg"):
+        digest = graphcore.save(graph, dst)
+    elif dst.endswith((".metis", ".graph")):
+        raise SystemExit("graph convert: METIS export is not supported (read-only format)")
+    else:
+        if graph.labels is not None:
+            raise SystemExit(
+                "graph convert: edge-list export needs dense integer nodes "
+                "(this graph carries a label sideband)"
+            )
+        if graph.node_attrs:
+            raise SystemExit(
+                "graph convert: edge-list export would drop this graph's "
+                "node attributes (keep it in .csrg form)"
+            )
+        graphcore.write_edge_list(graph, dst)
+        digest = graph.digest()
+    print(f"wrote {dst}: n={graph.n} m={graph.m} digest={digest}")
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    return {
+        "build": _graph_build,
+        "info": _graph_info,
+        "convert": _graph_convert,
+    }[args.action](args)
 
 
 def _open_store(path: str):
@@ -863,10 +976,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_jobs(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
+    graph = sub.add_parser(
+        "graph",
+        help="build/inspect/convert compact graph files (.csrg)",
+    )
+    graph.add_argument(
+        "action",
+        choices=("build", "info", "convert"),
+        help="build a workload into a .csrg file, print a file's header, "
+        "or convert between edge-list/METIS/.csrg",
+    )
+    graph.add_argument(
+        "--workload", default=None, help="named workload to build (build)"
+    )
+    graph.add_argument(
+        "--workload-param",
+        action=_WorkloadParam,
+        metavar="KEY=VALUE",
+        default=None,
+        help="workload generator parameter (repeatable, build)",
+    )
+    graph.add_argument(
+        "--seed", type=int, default=0, help="workload seed (build)"
+    )
+    graph.add_argument("--graph", default=None, help=".csrg file to inspect (info)")
+    graph.add_argument(
+        "--in",
+        dest="input",
+        default=None,
+        help="source file: .csrg, .metis/.graph, or edge list (convert)",
+    )
+    graph.add_argument(
+        "--out",
+        default=None,
+        help="destination file: .csrg target for build, .csrg or edge list "
+        "for convert",
+    )
+    graph.set_defaults(func=cmd_graph)
+
     workloads = sub.add_parser(
         "workloads", help="list the declarative workload registry"
     )
-    workloads.add_argument("--family", default=None, help="filter by family")
+    workloads.add_argument(
+        "--family", default=None, help="filter by family name prefix"
+    )
     workloads.add_argument(
         "--json", action="store_true", help="emit machine-readable spec JSON"
     )

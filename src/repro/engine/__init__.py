@@ -17,10 +17,13 @@ Public surface:
 from repro.engine.base import (
     DEFAULT_ENGINE,
     Engine,
+    EngineFallbackWarning,
     available_engines,
     current_engine,
     current_engine_name,
     get_engine,
+    note_engine_run,
+    record_engine_runs,
     register_engine,
     set_default_engine,
     use_engine,
@@ -31,6 +34,9 @@ from repro.engine.vector import VectorEngine
 __all__ = [
     "DEFAULT_ENGINE",
     "Engine",
+    "EngineFallbackWarning",
+    "note_engine_run",
+    "record_engine_runs",
     "available_engines",
     "current_engine",
     "current_engine_name",

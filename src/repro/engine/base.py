@@ -39,6 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 DEFAULT_ENGINE = "reference"
 
 
+class EngineFallbackWarning(RuntimeWarning):
+    """Emitted when an engine delegates a run to a different engine (the
+    vector engine's tracer fallback): the caller asked for one scheduler
+    and got another — correct results, but different provenance. The
+    effective engine is recorded on the returned
+    :class:`~repro.local.network.RunResult` (``result.engine``) and, for
+    campaign cells, in the row's ``extra['effective_engine']``."""
+
+
 class Engine(ABC):
     """Drives a :class:`~repro.local.algorithm.NodeAlgorithm` to completion.
 
@@ -112,6 +121,37 @@ _current: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
     "repro_engine", default=None
 )
 _default_engine = DEFAULT_ENGINE
+
+# ---- effective-engine accounting -----------------------------------------
+# Engines report each run they actually schedule via note_engine_run; a
+# record_engine_runs() scope collects those names so callers (the campaign
+# worker) can compare what *executed* against what was *requested* — the
+# tracer fallback must not let a store row claim "vector" for a
+# reference-executed run.
+
+_run_sink: contextvars.ContextVar[Optional[List[str]]] = contextvars.ContextVar(
+    "repro_engine_runs", default=None
+)
+
+
+def note_engine_run(name: str) -> None:
+    """Engines call this once per ``run()`` they schedule themselves (a
+    delegating engine does not note — the delegate does)."""
+    sink = _run_sink.get()
+    if sink is not None and name not in sink:
+        sink.append(name)
+
+
+@contextlib.contextmanager
+def record_engine_runs() -> Iterator[List[str]]:
+    """Collect the distinct engine names that actually execute inside the
+    block, in first-run order."""
+    sink: List[str] = []
+    token = _run_sink.set(sink)
+    try:
+        yield sink
+    finally:
+        _run_sink.reset(token)
 
 
 def set_default_engine(name: str) -> None:

@@ -13,7 +13,7 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
-from repro.engine.base import Engine
+from repro.engine.base import Engine, note_engine_run
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.network import DEFAULT_MAX_ROUNDS, Network, RunResult
 from repro.local.trace import Tracer
@@ -21,7 +21,14 @@ from repro.types import NodeId
 
 
 class ReferenceEngine(Engine):
-    """Bit-for-bit the pre-engine ``Network.run`` semantics."""
+    """Bit-for-bit the pre-engine ``Network.run`` semantics.
+
+    :class:`~repro.graphcore.CompactGraph` inputs are converted to
+    networkx transparently (the reference scheduler is defined over nx
+    adjacency), so parity suites can hold the CSR fast path of
+    :class:`~repro.engine.vector.VectorEngine` against this engine on the
+    *same* compact instance.
+    """
 
     name = "reference"
 
@@ -35,9 +42,14 @@ class ReferenceEngine(Engine):
         crashes: Optional[Dict[NodeId, int]] = None,
         tracer: Optional[Tracer] = None,
     ) -> RunResult:
+        from repro.graphcore import CompactGraph
+
+        note_engine_run(self.name)
+        if isinstance(graph, CompactGraph):
+            graph = graph.to_networkx()
         network = Network(graph)
         ctx = network.make_context(**(extras or {}))
-        return network.run(
+        result = network.run(
             algorithm,
             ctx,
             max_rounds=DEFAULT_MAX_ROUNDS if max_rounds is None else max_rounds,
@@ -45,3 +57,5 @@ class ReferenceEngine(Engine):
             crashes=crashes,
             tracer=tracer,
         )
+        result.engine = self.name
+        return result

@@ -26,17 +26,30 @@ untouched but reorganizes the scheduler around three ideas:
   enforces this for every registered algorithm). Per-round cost drops from
   O(n) to O(active + delivered messages).
 
+:class:`~repro.graphcore.CompactGraph` inputs take a **native path**: the
+CSR arrays the engine would otherwise build by walking networkx adjacency
+already exist, so graph ingestion is two array conversions instead of a
+per-node, per-edge Python traversal — the ``bench_graphcore`` suite gates
+this conversion-skip at >= 2x on the scale family. Scheduling semantics
+are identical in both paths (same drain order, same step order), which
+the compact-parity suite enforces against the reference engine.
+
 Tracer runs are delegated to the reference engine: a tracer observes every
-per-node event, which forces the O(n) loop anyway.
+per-node event, which forces the O(n) loop anyway. The delegation is
+announced with :class:`~repro.engine.base.EngineFallbackWarning` and the
+returned result's ``engine`` field says ``"reference"`` — provenance
+downstream (store rows, differential checks) never silently claims a
+vector execution that did not happen.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional
 
 import networkx as nx
 
-from repro.engine.base import Engine
+from repro.engine.base import Engine, EngineFallbackWarning, note_engine_run
 from repro.errors import RoundLimitExceeded, SimulationError
 from repro.local.algorithm import Context, NodeAlgorithm
 from repro.local.congest import estimate_payload_bits as _payload_bits
@@ -73,6 +86,13 @@ class VectorEngine(Engine):
             # the natural (and already-correct) host for it.
             from repro.engine.reference import ReferenceEngine
 
+            warnings.warn(
+                "VectorEngine delegates tracer runs to ReferenceEngine: "
+                "results are identical, but this run executes on the "
+                "reference scheduler (result.engine == 'reference')",
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
             return ReferenceEngine().run(
                 graph,
                 algorithm,
@@ -82,30 +102,46 @@ class VectorEngine(Engine):
                 crashes=crashes,
                 tracer=tracer,
             )
+        from repro.graphcore import CompactGraph
+
+        note_engine_run(self.name)
         if max_rounds is None:
             max_rounds = DEFAULT_MAX_ROUNDS
-        if nx.number_of_selfloops(graph):
-            raise SimulationError("self-loops are not allowed in LOCAL networks")
 
-        # ---- CSR adjacency: intern ids, slice one flat neighbor array.
-        ids: List[NodeId] = list(graph.nodes())
-        n = len(ids)
-        index: Dict[NodeId, int] = {v: i for i, v in enumerate(ids)}
-        flat: List[NodeId] = []
-        indptr: List[int] = [0]
-        for v in ids:
-            flat.extend(graph.neighbors(v))
-            indptr.append(len(flat))
-        nodes: List[Node] = [
-            Node(ids[i], tuple(flat[indptr[i] : indptr[i + 1]])) for i in range(n)
-        ]
-        max_degree = max(
-            (indptr[i + 1] - indptr[i] for i in range(n)), default=0
-        )
+        if isinstance(graph, CompactGraph):
+            # ---- Native path: the CSR arrays already exist (and the type
+            # guarantees no self-loops); ids are the dense ints 0..n-1, so
+            # no interning dict is needed — addressee ids *are* indices.
+            n = graph.n
+            adj = graph.adjacency_lists()
+            ids = range(n)
+            index = None
+            nodes: List[Node] = [Node(i, adj[i]) for i in range(n)]
+            max_degree = graph.max_degree
+            unknown = {v for v in (crashes or {}) if not (isinstance(v, int) and 0 <= v < n)}
+        else:
+            if nx.number_of_selfloops(graph):
+                raise SimulationError("self-loops are not allowed in LOCAL networks")
+
+            # ---- CSR adjacency: intern ids, slice one flat neighbor array.
+            ids = list(graph.nodes())
+            n = len(ids)
+            index = {v: i for i, v in enumerate(ids)}
+            flat = []
+            indptr = [0]
+            for v in ids:
+                flat.extend(graph.neighbors(v))
+                indptr.append(len(flat))
+            nodes = [
+                Node(ids[i], tuple(flat[indptr[i] : indptr[i + 1]])) for i in range(n)
+            ]
+            max_degree = max(
+                (indptr[i + 1] - indptr[i] for i in range(n)), default=0
+            )
+            unknown = set(crashes or {}) - set(index)
         ctx = Context(n=n, max_degree=max_degree, extras=dict(extras or {}))
 
         crashes = crashes or {}
-        unknown = set(crashes) - set(index)
         if unknown:
             raise SimulationError(f"crash schedule names unknown nodes {unknown!r}")
 
@@ -130,7 +166,7 @@ class VectorEngine(Engine):
                     continue
                 sender = ids[i]
                 for nbr, payload in out.items():
-                    j = index[nbr]
+                    j = nbr if index is None else index[nbr]
                     box = inbox_next[j]
                     if not box:
                         recv_next.append(j)
@@ -179,7 +215,7 @@ class VectorEngine(Engine):
             for node_id, crash_round in crashes.items():
                 if crash_round == rounds and node_id not in crashed:
                     crashed.add(node_id)
-                    i = index[node_id]
+                    i = node_id if index is None else index[node_id]
                     if status[i] != _HALTED:
                         nodes[i].halt()
                         status[i] = _HALTED
@@ -264,4 +300,5 @@ class VectorEngine(Engine):
             round_messages=round_messages,
             max_message_bits=max_bits,
             crashed=frozenset(crashed),
+            engine=self.name,
         )

@@ -38,6 +38,11 @@ class RunResult:
     ``round_messages[r]`` is the number of messages delivered at the start
     of round ``r + 1`` — the per-round communication profile, useful for
     message-complexity analysis of the reproduced algorithms.
+
+    ``engine`` names the engine that *actually* scheduled the run (set by
+    the engine layer; ``None`` for direct :class:`Network` use). It can
+    differ from the engine the caller requested — the vector engine's
+    tracer fallback executes on the reference scheduler and says so here.
     """
 
     rounds: int
@@ -46,6 +51,7 @@ class RunResult:
     round_messages: List[int] = field(default_factory=list)
     max_message_bits: int = 0
     crashed: frozenset = frozenset()
+    engine: Optional[str] = None
 
     def output_of(self, node_id: NodeId) -> Any:
         return self.outputs[node_id]

@@ -65,6 +65,11 @@ class AlgorithmSpec:
     ``invariants`` names the :mod:`repro.verify` oracles this algorithm's
     output must satisfy; an empty tuple falls back to the kind-level
     defaults (properness + claimed palette bound) at verification time.
+    ``compact_ok`` marks runners that consume the duck-typed read API of
+    :class:`~repro.graphcore.CompactGraph` directly (no networkx surface
+    beyond nodes/edges/neighbors/degree): :func:`run` hands them compact
+    inputs as-is, while every other runner gets a transparent
+    ``to_networkx`` conversion — correct everywhere, fast where it counts.
     """
 
     name: str
@@ -78,6 +83,7 @@ class AlgorithmSpec:
     params: Tuple[str, ...] = ()
     distributed: bool = True
     invariants: Tuple[str, ...] = ()
+    compact_ok: bool = False
 
 
 _REGISTRY: Dict[str, AlgorithmSpec] = {}
@@ -164,7 +170,13 @@ def run(
             f"accepted: {sorted(spec.params)}"
         )
     from repro.engine import use_engine
+    from repro.graphcore import CompactGraph
 
+    if isinstance(graph, CompactGraph) and not spec.compact_ok:
+        # Runners that need the full networkx surface get a transparent
+        # conversion; compact-capable runners skip it (the whole point of
+        # the CSR data layer at scale).
+        graph = graph.to_networkx()
     with use_engine(engine):
         result = spec.runner(graph, **params)
     if result.name != name or result.kind != spec.kind:

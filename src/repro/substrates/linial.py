@@ -225,5 +225,8 @@ _registry.register(
         rounds_bound="O(log* n)",
         runner=_run_linial,
         invariants=("proper-vertex-coloring", "palette-bound"),
+        # Touches only nodes()/degree()/run_on_graph — runs on CompactGraph
+        # natively; the million-node walkthrough leans on this.
+        compact_ok=True,
     )
 )

@@ -24,11 +24,13 @@ Example::
 """
 
 from repro.workloads.registry import (
+    EXCLUDED_FROM_DEFAULT_GRID,
     FAMILIES,
     WorkloadSpec,
     build,
     canonical_instance,
     canonical_params,
+    default_grid_names,
     from_json,
     get,
     names,
@@ -40,8 +42,10 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "EXCLUDED_FROM_DEFAULT_GRID",
     "FAMILIES",
     "WorkloadSpec",
+    "default_grid_names",
     "build",
     "canonical_instance",
     "canonical_params",

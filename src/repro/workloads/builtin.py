@@ -7,8 +7,12 @@ and Figure 1), interconnect topologies, and adversarial worst cases
 (power-law hubs, complete graphs, shared-vertex cliques). The ``scale``
 family holds >= 50k-node variants of the core shapes — large enough that
 campaign grids over them exercise the streaming executor's bounded
-window for real, which is why ``repro campaign cells`` leaves them out
-of its default grid (name them explicitly via ``--workloads``).
+window for real. The ``xl`` family holds >= 1M-node variants built by
+the streaming CSR generators (:mod:`repro.graphcore.builders`) — its
+specs are ``compact=True`` and resolve to
+:class:`~repro.graphcore.CompactGraph`, never materializing a networkx
+graph. Both families are excluded from the default ``repro campaign
+cells`` grid (name them explicitly via ``--workloads``).
 Importing this module populates :mod:`repro.workloads.registry`.
 """
 
@@ -123,4 +127,46 @@ def _register_builtins() -> None:
         )
 
 
+def _register_xl() -> None:
+    """The xl tier: >= 1M-node instances streamed straight into CSR
+    (:mod:`repro.graphcore.builders`). Parallel families to the scale
+    tier, not bit-identical clones of the nx generators — see the
+    builders' docstrings for the constructions."""
+    from repro.graphcore import (
+        build_forest_stack,
+        build_grid,
+        build_power_law,
+        build_regular,
+    )
+
+    table = (
+        ("xl-regular", True, {"n": 1_000_000, "d": 8}, build_regular,
+         "1M-node union of 4 seeded Hamilton cycles: Delta <= 8, "
+         "d-regular up to rare layer collisions"),
+        ("xl-power-law", True, {"n": 1_000_000, "attach": 3}, build_power_law,
+         "1M-node preferential attachment: the hub-adversarial regime at "
+         "full scale"),
+        ("xl-forest-stack", True,
+         {"n_centers": 8_000, "leaves_per_center": 124, "a": 2},
+         build_forest_stack,
+         "1M-node union of 2 star forests: Section 5's Delta >> a regime"),
+        ("xl-grid", False, {"rows": 1_000, "cols": 1_000}, build_grid,
+         "1000x1000 planar grid (1M nodes), deterministic topology"),
+    )
+    for name, seeded, defaults, factory, summary in table:
+        register(
+            WorkloadSpec(
+                name=name,
+                family="xl",
+                summary=summary,
+                factory=factory,
+                defaults=defaults,
+                params=tuple(sorted(defaults)),
+                seeded=seeded,
+                compact=True,
+            )
+        )
+
+
 _register_builtins()
+_register_xl()

@@ -21,8 +21,16 @@ FAMILIES = (
     "topology",
     "adversarial",
     "scale",
+    "xl",
     "custom",
 )
+
+#: Families whose instances are too large for the unfiltered default
+#: campaign grid: ``scale`` (>= 50k nodes) and ``xl`` (>= 1M nodes,
+#: resolving to :class:`~repro.graphcore.CompactGraph`). They run only
+#: when named explicitly (``--workloads``); the CLI listing marks them so
+#: the exclusion is visible instead of implicit.
+EXCLUDED_FROM_DEFAULT_GRID = ("scale", "xl")
 
 
 @dataclass(frozen=True)
@@ -35,16 +43,23 @@ class WorkloadSpec:
     ``params`` lists the accepted keyword names (``None`` disables eager
     validation for introspection-hostile custom factories). ``seeded``
     marks whether the factory consumes a ``seed`` keyword; deterministic
-    topologies ignore seeds entirely.
+    topologies ignore seeds entirely. ``compact`` marks factories that
+    return a :class:`~repro.graphcore.CompactGraph` (the streaming CSR
+    builders of the ``xl`` family) instead of a ``networkx.Graph`` —
+    the canonical instance payload (and therefore the run key) is
+    identical either way: name + resolved params + normalized seed
+    fully determine the CSR arrays, whose content digest is stable
+    across builds.
     """
 
     name: str
     family: str
     summary: str
-    factory: Callable[..., nx.Graph] = field(repr=False)
+    factory: Callable[..., Any] = field(repr=False)
     defaults: Mapping[str, Any] = field(default_factory=dict)
     params: Optional[Tuple[str, ...]] = None
     seeded: bool = True
+    compact: bool = False
 
 
 _REGISTRY: Dict[str, WorkloadSpec] = {}
@@ -158,11 +173,23 @@ def canonical_params(
     return {k: merged[k] for k in sorted(merged)}
 
 
+def default_grid_names() -> List[str]:
+    """The workload names the unfiltered default campaign grid runs:
+    everything except the :data:`EXCLUDED_FROM_DEFAULT_GRID` families."""
+    return [
+        spec.name
+        for spec in specs()
+        if spec.family not in EXCLUDED_FROM_DEFAULT_GRID
+    ]
+
+
 def build(
     name: str, params: Optional[Mapping[str, Any]] = None, seed: int = 0
-) -> nx.Graph:
+):
     """Instantiate workload ``name`` with ``params`` merged over its
-    defaults, under ``seed`` (ignored by unseeded workloads)."""
+    defaults, under ``seed`` (ignored by unseeded workloads). Returns a
+    ``networkx.Graph``, or a :class:`~repro.graphcore.CompactGraph` for
+    ``compact`` specs (the ``xl`` family)."""
     spec = get(name)
     merged = canonical_params(name, params)
     kwargs = dict(merged)
@@ -208,7 +235,7 @@ def to_json(
     )
 
 
-def from_json(text: str) -> nx.Graph:
+def from_json(text: str):
     """Rebuild the graph a :func:`to_json` description denotes."""
     try:
         payload = json.loads(text)

@@ -451,8 +451,10 @@ class TestCliEngineJobs:
             main(["campaign", "cells", "--retries", "-1", "--out", str(out)])
 
     def test_default_grid_excludes_scale_workloads(self, tmp_path):
-        """The unfiltered default grid must stay cheap: >= 50k-node scale
-        scenarios run only when named via --workloads."""
+        """The unfiltered default grid must stay cheap: the scale
+        (>= 50k-node) and xl (>= 1M-node) tiers run only when named via
+        --workloads, and the exclusion list is the single registry-level
+        constant the CLI and listings share."""
         from repro import workloads as workload_registry
 
         out = tmp_path / "cells.json"
@@ -465,9 +467,14 @@ class TestCliEngineJobs:
         assert code == 0
         rows = load_cell_results(out)
         used = {r["workload"] for r in rows}
-        assert used == set(workload_registry.names()) - set(
-            workload_registry.names(family="scale")
-        )
+        assert used == set(workload_registry.default_grid_names())
+        excluded = set(workload_registry.names()) - used
+        assert excluded == {
+            spec.name
+            for spec in workload_registry.specs()
+            if spec.family in workload_registry.EXCLUDED_FROM_DEFAULT_GRID
+        }
+        assert {"scale-regular", "xl-grid"} <= excluded
 
     def test_algorithms_listing(self, capsys):
         assert main(["algorithms", "--family", "core"]) == 0

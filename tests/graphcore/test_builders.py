@@ -1,0 +1,132 @@
+"""Streaming CSR builders: structural guarantees and seed determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphcore import (
+    CompactGraph,
+    build_forest_stack,
+    build_grid,
+    build_power_law,
+    build_regular,
+)
+from repro.graphs import planar_grid
+
+
+def revalidate(graph: CompactGraph) -> CompactGraph:
+    """Run the full CSR invariant check on a builder's output."""
+    return CompactGraph(graph.indptr, graph.indices, labels=graph.labels)
+
+
+class TestRegular:
+    def test_even_degree_exact(self):
+        g = revalidate(build_regular(2000, 8, seed=1))
+        assert g.n == 2000
+        assert g.max_degree <= 8
+        # collisions are rare at this density: almost every node exact
+        assert np.mean(g.degrees == 8) > 0.98
+
+    def test_odd_degree_with_matching(self):
+        g = revalidate(build_regular(500, 5, seed=2))
+        assert g.max_degree <= 5
+        assert np.mean(g.degrees == 5) > 0.95
+
+    def test_odd_degree_odd_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_regular(501, 5)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_regular(4, 4)
+
+    def test_seed_determinism(self):
+        assert build_regular(300, 6, seed=9).digest() == build_regular(300, 6, seed=9).digest()
+        assert build_regular(300, 6, seed=9).digest() != build_regular(300, 6, seed=10).digest()
+
+
+class TestPowerLaw:
+    def test_heavy_tail(self):
+        g = revalidate(build_power_law(3000, 3, seed=4))
+        assert g.n == 3000
+        # every late node attaches to `attach` distinct targets
+        assert int(g.degrees.min()) >= 3
+        # hubs: Delta far above the mean degree (~2*attach)
+        assert g.max_degree > 10 * (2 * g.m / g.n) / 2
+
+    def test_edge_count(self):
+        g = build_power_law(1000, 2, seed=0)
+        assert g.m == 2 + 2 * (1000 - 3)  # seed star + attach per new node
+
+    def test_seed_determinism(self):
+        assert build_power_law(400, 3, seed=7).digest() == build_power_law(400, 3, seed=7).digest()
+        assert build_power_law(400, 3, seed=7).digest() != build_power_law(400, 3, seed=8).digest()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_power_law(3, 3)
+
+
+class TestForestStack:
+    def test_arboricity_shape(self):
+        g = revalidate(build_forest_stack(20, 30, a=2, seed=1))
+        assert g.n == 20 * 31
+        # each layer adds <= n - n_centers edges (a star forest is a forest)
+        assert g.m <= 2 * (g.n - 20)
+        # centers collect ~leaves_per_center edges per layer: Delta >> a
+        assert g.max_degree > 15
+
+    def test_seed_determinism(self):
+        a = build_forest_stack(8, 10, a=3, seed=5)
+        b = build_forest_stack(8, 10, a=3, seed=5)
+        assert a.digest() == b.digest()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_forest_stack(0, 5, a=1)
+
+
+class TestGrid:
+    def test_matches_nx_generator_exactly(self):
+        # the one builder with a deterministic nx counterpart in the same
+        # node order: identical graphs, not merely the same family
+        ours = build_grid(7, 9)
+        theirs = CompactGraph.from_networkx(planar_grid(7, 9))
+        assert ours.digest() == theirs.digest()
+
+    def test_degenerate_sizes(self):
+        assert build_grid(1, 1).m == 0
+        line = build_grid(1, 5)
+        assert line.m == 4 and line.max_degree == 2
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_grid(0, 3)
+
+
+class TestXlWorkloadWiring:
+    def test_xl_specs_resolve_to_compact(self):
+        from repro import workloads
+
+        for spec in workloads.specs(family="xl"):
+            assert spec.compact
+            small = {
+                k: max(1, v // 250) if isinstance(v, int) else v
+                for k, v in spec.defaults.items()
+            }
+            graph = workloads.build(spec.name, small, seed=0)
+            assert isinstance(graph, CompactGraph)
+            assert graph.n > 0
+
+    def test_xl_defaults_are_million_node(self):
+        from repro import workloads
+
+        for spec in workloads.specs(family="xl"):
+            defaults = dict(spec.defaults)
+            if "n" in defaults:
+                n = defaults["n"]
+            elif "rows" in defaults:
+                n = defaults["rows"] * defaults["cols"]
+            else:
+                n = defaults["n_centers"] * (1 + defaults["leaves_per_center"])
+            assert n >= 1_000_000

@@ -42,6 +42,12 @@ SMALL_PARAMS = {
     "scale-power-law": {"n": 64, "attach": 2},
     "scale-forest-stack": {"n_centers": 6, "leaves_per_center": 9, "a": 2},
     "scale-grid": {"rows": 8, "cols": 8},
+    # xl instances resolve to CompactGraph — fuzzing them pushes every
+    # algorithm and oracle through the compact/duck-typed pipeline too
+    "xl-regular": {"n": 64, "d": 4},
+    "xl-power-law": {"n": 64, "attach": 2},
+    "xl-forest-stack": {"n_centers": 6, "leaves_per_center": 9, "a": 2},
+    "xl-grid": {"rows": 8, "cols": 8},
 }
 
 ALL_WORKLOADS = workloads.names()

@@ -38,8 +38,8 @@ class TestRegistry:
 
     def test_every_builtin_builds_with_defaults(self):
         for spec in workloads.specs():
-            if spec.family == "scale":
-                continue  # >= 50k nodes at defaults; shrunk build below
+            if spec.family in workloads.EXCLUDED_FROM_DEFAULT_GRID:
+                continue  # >= 50k/1M nodes at defaults; shrunk builds below
             graph = workloads.build(spec.name, seed=0)
             assert graph.number_of_nodes() > 0, spec.name
 
@@ -75,6 +75,23 @@ class TestRegistry:
         }
         for name, params in shrunk.items():
             graph = workloads.build(name, params, seed=0)
+            assert graph.number_of_nodes() == 40, name
+
+    def test_xl_tier_builds_shrunk_and_compact(self):
+        """The xl factories work mechanically at a shrunk size and return
+        CompactGraph; the 1M-node builds run in bench_graphcore."""
+        from repro.graphcore import CompactGraph
+
+        shrunk = {
+            "xl-regular": {"n": 40, "d": 4},
+            "xl-power-law": {"n": 40, "attach": 2},
+            "xl-forest-stack": {"n_centers": 4, "leaves_per_center": 9, "a": 2},
+            "xl-grid": {"rows": 5, "cols": 8},
+        }
+        for name, params in shrunk.items():
+            assert workloads.get(name).compact
+            graph = workloads.build(name, params, seed=0)
+            assert isinstance(graph, CompactGraph), name
             assert graph.number_of_nodes() == 40, name
 
     def test_registering_same_name_twice_is_an_error(self):

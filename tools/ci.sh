@@ -132,13 +132,55 @@ fi
 python -m repro verify --diff --algorithms star4 --workloads random-regular >/dev/null
 echo "verify smoke: corrupted row flagged exactly; differential engines agree"
 
+echo "== graph smoke: build -> info -> convert -> run from .csrg =="
+# A size-reduced xl instance through the whole graph-store surface: build
+# a .csrg, inspect it, round-trip it through the edge-list format with an
+# identical content digest, then run the same cell once from the saved
+# file and once in-memory — the result columns must be byte-identical.
+python -m repro graph build --workload xl-grid \
+  --workload-param rows=12 --workload-param cols=12 \
+  --out "$SMOKE_DIR/g.csrg" >/dev/null
+# capture, then grep: `info | grep -q` would race grep's early exit
+# against python's final writes under pipefail (BrokenPipeError)
+python -m repro graph info --graph "$SMOKE_DIR/g.csrg" > "$SMOKE_DIR/g.info"
+grep -q "n           = 144" "$SMOKE_DIR/g.info"
+python -m repro graph convert --in "$SMOKE_DIR/g.csrg" --out "$SMOKE_DIR/g.txt" >/dev/null
+python -m repro graph convert --in "$SMOKE_DIR/g.txt" --out "$SMOKE_DIR/g2.csrg" >/dev/null
+python - "$SMOKE_DIR/g.csrg" "$SMOKE_DIR/g2.csrg" <<'EOF'
+import sys
+from repro.graphcore import read_info
+a, b = (read_info(p)["digest"] for p in sys.argv[1:3])
+assert a == b, f"convert round-trip changed the digest: {a} != {b}"
+print(f"digest stable across csrg -> edge list -> csrg: {a[:16]}")
+EOF
+python -m repro run --graph "$SMOKE_DIR/g.csrg" --algorithm linial \
+  --engine vector --out "$SMOKE_DIR/run_file.json" >/dev/null
+python -m repro run --workload xl-grid \
+  --workload-param rows=12 --workload-param cols=12 --algorithm linial \
+  --engine vector --jobs 1 --out "$SMOKE_DIR/run_mem.json" >/dev/null
+python - "$SMOKE_DIR/run_file.json" "$SMOKE_DIR/run_mem.json" <<'EOF'
+import json, sys
+rows = [json.load(open(p)) for p in sys.argv[1:3]]
+def strip(row):  # drop the per-invocation identity/timing fields
+    return {k: v for k, v in row.items()
+            if k not in ("workload", "seed", "wall_ms", "workload_params",
+                         "algo_params", "extra", "verified", "verdict", "violation", "kind")}
+a, b = (json.dumps([strip(r) for r in rs], sort_keys=True) for rs in rows)
+assert a == b, f"file-backed run diverged from in-memory:\n{a}\n{b}"
+print("run from saved .csrg byte-identical to in-memory")
+EOF
+echo "graph smoke: csrg build/info/convert/run agree with in-memory"
+
 # Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
 # streaming executor's kill-loss and overhead (BENCH_stream.json);
-# bench_verify gates invariant-verification overhead (BENCH_verify.json).
+# bench_verify gates invariant-verification overhead (BENCH_verify.json);
+# bench_graphcore gates the CSR conversion-skip speedup and the 1M-node
+# build's peak RSS (BENCH_graphcore.json).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
   python benchmarks/bench_stream.py
   python benchmarks/bench_store_cache.py
   python benchmarks/bench_engine_comparison.py
+  python benchmarks/bench_graphcore.py
 fi
