@@ -21,6 +21,12 @@ def greedy_vertex_coloring(
     """First-fit vertex coloring along ``order`` (default: sorted ids).
     Uses at most Delta+1 colors."""
     if order is None:
+        if hasattr(graph, "indptr") and hasattr(graph, "indices"):
+            # CSR sweep kernel: same repr order, same first-fit rule,
+            # same dict insertion order — just no per-node Python sets.
+            from repro.kernels.greedy import greedy_vertex_compact
+
+            return greedy_vertex_compact(graph)
         order = sorted(graph.nodes(), key=repr)
     coloring: VertexColoring = {}
     for v in order:
@@ -37,6 +43,10 @@ def greedy_edge_coloring(
 ) -> EdgeColoring:
     """First-fit edge coloring; uses at most 2*Delta-1 colors."""
     if order is None:
+        if hasattr(graph, "indptr") and hasattr(graph, "indices"):
+            from repro.kernels.greedy import greedy_edge_compact
+
+            return greedy_edge_compact(graph)
         order = sorted(
             (edge_key(u, v) for u, v in graph.edges()),
             key=lambda e: (repr(e[0]), repr(e[1])),

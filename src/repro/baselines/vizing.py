@@ -141,7 +141,14 @@ def misra_gries_edge_coloring(graph: nx.Graph) -> EdgeColoring:
     if graph.number_of_edges() == 0:
         return {}
     state = _State(graph, palette=delta + 1)
-    for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+    # edges() yields traversal-dependent orientations; canonicalize through
+    # edge_key so the sweep order and each fan's center are representation-
+    # independent (CompactGraph vs networkx, any insertion order).
+    canonical = sorted(
+        (edge_key(u, v) for u, v in graph.edges()),
+        key=lambda e: (repr(e[0]), repr(e[1])),
+    )
+    for u, v in canonical:
         if edge_key(u, v) not in state.color:
             _color_edge(state, u, v)
     for u, v in graph.edges():
@@ -177,5 +184,6 @@ _registry.register(
         runner=_run_vizing,
         invariants=("proper-edge-coloring", "palette-bound"),
         distributed=False,
+        compact_ok=True,  # nodes()/edges()/neighbors()/degree() only
     )
 )

@@ -196,6 +196,7 @@ _registry.register(
         runner=_run_weak,
         invariants=("proper-edge-coloring", "palette-bound"),
         params=("exponent",),
+        compact_ok=True,  # works on the line graph (built from reads)
     )
 )
 _registry.register(
@@ -209,5 +210,6 @@ _registry.register(
         runner=_run_weak_vertex,
         invariants=("proper-vertex-coloring", "palette-bound"),
         params=("exponent",),
+        compact_ok=True,  # recursion uses CompactGraph.subgraph
     )
 )

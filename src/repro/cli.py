@@ -5,7 +5,12 @@ Subcommands:
 * ``info --graph FILE`` — structural parameters (n, m, Delta, arboricity
   bounds, degeneracy) of an edge-list graph.
 * ``algorithms`` — the unified algorithm registry: every runnable
-  algorithm with its family, kind, color bound and parameters.
+  algorithm with its family, kind, color bound and parameters
+  (compact-capable algorithms carry a ``[compact]`` marker).
+* ``kernels`` — the whole-round CSR kernel layer: which per-node
+  algorithms have a registered kernel, whether the optional numba fast
+  path is live (``REPRO_NUMBA``), and which registry algorithms consume
+  ``CompactGraph`` natively vs. through the conversion fallback.
 * ``run`` — run any registered algorithm on a graph file or a named
   workload; ``--seeds`` + ``--jobs`` fan a seed batch across processes,
   ``--engine`` picks the execution engine.
@@ -122,12 +127,53 @@ def cmd_algorithms(args: argparse.Namespace) -> int:
     for spec in specs:
         params = f" params: {', '.join(spec.params)}" if spec.params else ""
         requires = f" requires: {', '.join(spec.requires)}" if spec.requires else ""
+        compact = " [compact]" if spec.compact_ok else ""
         print(
             f"{spec.name:<{width}}  [{spec.family}/{spec.kind}] "
-            f"{spec.color_bound} colors, {spec.rounds_bound}{params}{requires}"
+            f"{spec.color_bound} colors, {spec.rounds_bound}{params}{requires}{compact}"
         )
         if args.verbose:
             print(f"{'':<{width}}  {spec.summary}")
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    """The kernel layer's introspection surface: which per-node algorithms
+    have a whole-round CSR kernel, whether the numba fast path is live,
+    and which registry algorithms consume CompactGraph natively."""
+    from repro import kernels
+
+    compact_specs = [spec for spec in registry.specs() if spec.compact_ok]
+    payload = {
+        "kernels": kernels.kernel_names(),
+        "numba_available": kernels.numba_available(),
+        "numba_enabled": kernels.numba_enabled(),
+        "compact_ok": sorted(spec.name for spec in compact_specs),
+        "compact_fallback": sorted(
+            spec.name for spec in registry.specs() if not spec.compact_ok
+        ),
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=1)
+        print()
+        return 0
+    print("whole-round CSR kernels (VectorEngine, CompactGraph input):")
+    for name in payload["kernels"]:
+        print(f"  {name}")
+    state = "enabled" if payload["numba_enabled"] else (
+        "available but disabled" if payload["numba_available"] else "absent"
+    )
+    print(f"numba fast path (REPRO_NUMBA): {state}; pure-numpy results are")
+    print("identical either way (tools/ci.sh gates byte-parity).")
+    print(
+        f"compact-capable algorithms ({len(payload['compact_ok'])}"
+        f"/{len(registry.names())}): {', '.join(payload['compact_ok'])}"
+    )
+    if payload["compact_fallback"]:
+        print(
+            "conversion fallback (PerformanceWarning on CompactGraph input): "
+            + ", ".join(payload["compact_fallback"])
+        )
     return 0
 
 
@@ -849,6 +895,14 @@ def build_parser() -> argparse.ArgumentParser:
     algorithms.add_argument("--kind", choices=registry.KINDS, default=None)
     algorithms.add_argument("-v", "--verbose", action="store_true")
     algorithms.set_defaults(func=cmd_algorithms)
+
+    kernels = sub.add_parser(
+        "kernels",
+        help="the whole-round CSR kernel layer: registered kernels, "
+        "numba fast-path state, compact-capable algorithms",
+    )
+    kernels.add_argument("--json", action="store_true")
+    kernels.set_defaults(func=cmd_kernels)
 
     run = sub.add_parser(
         "run",

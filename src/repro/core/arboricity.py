@@ -614,6 +614,7 @@ _registry.register(
         runner=_run_thm52,
         invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
+        compact_ok=True,  # subgraph/has_edge + the CSR core-number branch
         params=("arboricity", "q"),
     )
 )
@@ -628,6 +629,7 @@ _registry.register(
         runner=_run_thm53,
         invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
+        compact_ok=True,  # subgraph/has_edge + the CSR core-number branch
         params=("arboricity", "q"),
     )
 )
@@ -642,6 +644,7 @@ _registry.register(
         runner=_run_thm54,
         invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
+        compact_ok=True,  # subgraph/has_edge + the CSR core-number branch
         params=("x", "arboricity", "q"),
     )
 )
@@ -656,6 +659,7 @@ _registry.register(
         runner=_run_cor55,
         invariants=("proper-edge-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
+        compact_ok=True,  # subgraph/has_edge + the CSR core-number branch
         params=("arboricity",),
     )
 )

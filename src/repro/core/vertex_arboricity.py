@@ -151,5 +151,6 @@ _registry.register(
         invariants=("proper-vertex-coloring", "palette-bound"),
         requires=("bounded-arboricity",),
         params=("arboricity", "q"),
+        compact_ok=True,  # level sweeps use CompactGraph.subgraph
     )
 )

@@ -108,6 +108,30 @@ class VectorEngine(Engine):
         if max_rounds is None:
             max_rounds = DEFAULT_MAX_ROUNDS
 
+        if (
+            isinstance(graph, CompactGraph)
+            and not crashes
+            and not track_bandwidth
+        ):
+            # ---- Kernel path: a registered whole-run array kernel replays
+            # the algorithm as fused numpy ops over the CSR arrays. Kernels
+            # are bit-for-bit replicas of the per-node semantics (the
+            # compact-parity suite is the gate) and decline anything they
+            # cannot reproduce exactly, falling through to the loop below.
+            # Crashing/bandwidth-tracked runs observe per-node, per-round
+            # state no closed-form replay models, so they never dispatch.
+            from repro import kernels
+
+            kernel = kernels.get_kernel(getattr(algorithm, "name", None))
+            if kernel is not None:
+                try:
+                    result = kernel(graph, dict(extras or {}), max_rounds)
+                except kernels.KernelUnsupported:
+                    pass
+                else:
+                    result.engine = self.name
+                    return result
+
         if isinstance(graph, CompactGraph):
             # ---- Native path: the CSR arrays already exist (and the type
             # guarantees no self-loops); ids are the dense ints 0..n-1, so

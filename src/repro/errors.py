@@ -37,3 +37,9 @@ class InvalidParameterError(ReproError):
 
 class CliqueCoverError(ReproError):
     """A clique cover is inconsistent with the graph it annotates."""
+
+
+class PerformanceWarning(UserWarning):
+    """A supported-but-slow path was taken (e.g. a CompactGraph converted
+    to networkx for a non-``compact_ok`` algorithm). Results are correct;
+    the warning exists so large campaigns disclose the cost."""

@@ -197,6 +197,60 @@ class CompactGraph:
             self._max_degree = int(self.degrees.max()) if self.n else 0
         return self._max_degree
 
+    def has_edge(self, u: Any, v: Any) -> bool:
+        """Whether ``{u, v}`` is an edge (False for unknown nodes, matching
+        the networkx contract). Binary search in ``u``'s sorted row."""
+        if not (isinstance(u, int) and isinstance(v, int)):
+            return False
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            return False
+        row = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
+    def subgraph(self, nodes: Any) -> Any:
+        """The induced subgraph on ``nodes`` as a ``networkx.Graph``.
+
+        Unknown nodes are ignored (the networkx ``subgraph`` contract).
+        Node order is ascending and edges are added in CSR row order —
+        the same iteration orders a ``G.subgraph(...)`` view exposes when
+        ``G`` came from :meth:`to_networkx` — so algorithms recursing on
+        induced subgraphs behave identically on either representation.
+        """
+        import networkx as nx
+
+        members = sorted(
+            {int(v) for v in nodes if isinstance(v, int) and 0 <= v < self.n}
+        )
+        sub = nx.Graph()
+        sub.add_nodes_from(members)
+        if members and self.indices.size:
+            mem = np.asarray(members, dtype=np.int64)
+            mask = np.zeros(self.n, dtype=bool)
+            mask[mem] = True
+            starts = self.indptr[mem]
+            counts = self.indptr[mem + 1] - starts
+            total = int(counts.sum())
+            if total:
+                bounds = np.concatenate([[0], np.cumsum(counts)])
+                gather = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(bounds[:-1], counts)
+                    + np.repeat(starts, counts)
+                )
+                owner = np.repeat(mem, counts)
+                nbr = self.indices[gather].astype(np.int64)
+                keep = mask[nbr] & (owner < nbr)
+                sub.add_edges_from(
+                    zip(owner[keep].tolist(), nbr[keep].tolist())
+                )
+        if self.node_attrs:
+            for v in members:
+                data = self.node_attrs.get(v)
+                if data:
+                    sub.nodes[v].update(data)
+        return sub
+
     def adjacency_lists(self) -> List[Tuple[int, ...]]:
         """Per-node neighbor tuples of Python ints, computed once and
         cached — the bulk form of :meth:`neighbors` the vector engine's

@@ -65,6 +65,18 @@ def degeneracy(graph: nx.Graph) -> int:
     return degeneracy_ordering(graph)[1]
 
 
+def _core_numbers(graph: nx.Graph) -> Dict[NodeId, int]:
+    """Per-node core numbers. ``nx.core_number`` needs a networkx graph;
+    CSR inputs use the vectorized peel (core numbers are a graph invariant,
+    so the two agree exactly)."""
+    if hasattr(graph, "indptr") and hasattr(graph, "indices"):
+        from repro.kernels.cores import core_numbers_csr
+
+        cores = core_numbers_csr(graph.indptr, graph.indices)
+        return {v: int(c) for v, c in enumerate(cores)}
+    return nx.core_number(graph)
+
+
 @dataclass(frozen=True)
 class ArboricityBounds:
     lower: int
@@ -91,7 +103,7 @@ def arboricity_bounds(graph: nx.Graph) -> ArboricityBounds:
         return ArboricityBounds(lower=0 if m == 0 else 1, upper=0 if m == 0 else 1)
     lower = math.ceil(m / (n - 1))
     upper = max(1, degeneracy(graph))
-    core_numbers = nx.core_number(graph)
+    core_numbers = _core_numbers(graph)
     for k in range(2, upper + 1):
         core_nodes = [v for v, c in core_numbers.items() if c >= k]
         if len(core_nodes) > 1:

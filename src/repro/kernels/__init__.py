@@ -1,0 +1,106 @@
+"""Batched numpy round kernels over :class:`~repro.graphcore.CompactGraph`.
+
+The per-node simulators (:class:`~repro.local.network.Network` and the
+vector engine's event-driven loop) dispatch a Python ``step`` per node per
+round. For the bounded-round LOCAL procedures this library reproduces —
+Linial's cover-free relabeling, Cole–Vishkin bit reduction, the iterated
+color reductions, H-partition peeling — every node of a round applies the
+*same* pure function of (own state, neighbor states), which makes the
+whole round one fused array operation over the CSR ``indptr``/``indices``
+arrays. A kernel executes the entire run that way: one ``colors``/state
+vector per graph, one pass of numpy segment ops per synchronous round,
+zero per-node Python dispatch.
+
+Contract (the reason kernels may exist at all):
+
+* **Bit-for-bit parity.** A kernel returns the *exact*
+  :class:`~repro.local.network.RunResult` the reference scheduler would
+  produce — outputs, round count, total messages, and the per-round
+  ``round_messages`` profile. The compact-parity suite enforces this for
+  every registered kernel over the full workload catalogue.
+* **Decline, don't approximate.** A kernel that cannot reproduce the
+  per-node semantics for a given input (exotic extras, inputs that would
+  raise mid-run in node order, palettes outside its vectorized range)
+  raises :class:`KernelUnsupported`; the engine silently falls back to
+  the per-node path, which remains the semantic authority.
+* **Engines opt in.** Only :class:`~repro.engine.vector.VectorEngine`
+  consults this registry (and only for crash-free, untraced,
+  bandwidth-untracked runs). The reference engine never does — it *is*
+  the baseline kernels are measured against.
+
+Kernels are registered per :class:`~repro.local.algorithm.NodeAlgorithm`
+``name`` and resolved lazily (:func:`get_kernel` imports the backing
+module on first use), so importing :mod:`repro.kernels` stays cheap and
+free of circular imports with the substrate modules.
+
+The optional numba fast path lives behind the ``REPRO_NUMBA`` feature
+flag (see :mod:`repro.kernels.backend`): when numba is absent or the flag
+is off, every kernel runs its pure-numpy implementation — same results,
+graceful degradation, no hard dependency.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Optional
+
+from repro.kernels.backend import numba_available, numba_enabled
+
+__all__ = [
+    "KernelUnsupported",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "numba_available",
+    "numba_enabled",
+]
+
+
+class KernelUnsupported(Exception):
+    """A kernel declined this input; the caller must fall back to the
+    per-node scheduler. Never escapes the engine layer."""
+
+
+#: algorithm name -> module that registers its kernel on import.
+_KERNEL_MODULES: Dict[str, str] = {
+    "linial": "repro.kernels.linial",
+    "defective-refinement": "repro.kernels.linial",
+    "basic-reduction": "repro.kernels.reduction",
+    "kw-phase": "repro.kernels.reduction",
+    "cole-vishkin": "repro.kernels.cole_vishkin",
+    "h-partition": "repro.kernels.peeling",
+}
+
+#: algorithm name -> kernel(graph, extras, max_rounds) -> RunResult.
+_KERNELS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_kernel(name: str, kernel: Callable[..., Any]) -> Callable[..., Any]:
+    """Register ``kernel`` as the whole-run executor for algorithm
+    ``name`` (the :class:`NodeAlgorithm` name, not the registry name)."""
+    _KERNELS[name] = kernel
+    return kernel
+
+
+def get_kernel(name: Optional[str]) -> Optional[Callable[..., Any]]:
+    """The kernel registered for algorithm ``name``, or None.
+
+    Lazily imports the backing module the first time a name is asked for,
+    so kernel registration never burdens interpreter startup.
+    """
+    if not isinstance(name, str):
+        return None
+    kernel = _KERNELS.get(name)
+    if kernel is None and name in _KERNEL_MODULES:
+        importlib.import_module(_KERNEL_MODULES[name])
+        kernel = _KERNELS.get(name)
+    return kernel
+
+
+def kernel_names() -> list:
+    """Sorted names of all algorithms with a registered kernel (forces
+    the lazy imports — this is the introspection surface, not the hot
+    path)."""
+    for module in set(_KERNEL_MODULES.values()):
+        importlib.import_module(module)
+    return sorted(_KERNELS)

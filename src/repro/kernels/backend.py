@@ -1,0 +1,64 @@
+"""The optional numba fast path, behind the ``REPRO_NUMBA`` feature flag.
+
+The container this library targets does not ship numba; kernels therefore
+treat JIT compilation as a *bonus*, never a requirement:
+
+* ``REPRO_NUMBA=0`` (or ``false``/``off``) — numba is never imported;
+  every kernel runs pure numpy.
+* ``REPRO_NUMBA=1`` (or unset, the ``auto`` default) — numba is used when
+  importable, silently skipped when not. ``REPRO_NUMBA=1`` with numba
+  absent is *not* an error: the flag requests the fast path, it does not
+  assert the dependency exists (CI exercises exactly this degradation).
+
+:func:`maybe_jit` is the only integration point: it returns a
+``nopython`` JIT-compiled twin of the function when the fast path is
+active and the function itself otherwise, so call sites are identical
+either way and results are bit-for-bit equal by construction (the jitted
+loops are the same integer arithmetic).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+_FALSY = ("0", "false", "off", "no")
+
+_numba: Optional[Any] = None
+_numba_checked = False
+
+
+def _flag() -> str:
+    return os.environ.get("REPRO_NUMBA", "auto").strip().lower()
+
+
+def numba_available() -> bool:
+    """Whether numba can be imported at all (cached after first probe)."""
+    global _numba, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:  # pragma: no cover - depends on the environment
+            import numba  # type: ignore
+
+            _numba = numba
+        except Exception:
+            _numba = None
+    return _numba is not None
+
+
+def numba_enabled() -> bool:
+    """Whether kernels should JIT: flag allows it *and* numba imports."""
+    if _flag() in _FALSY:
+        return False
+    return numba_available()
+
+
+def maybe_jit(func: Callable[..., Any]) -> Callable[..., Any]:
+    """``numba.njit(cache=False)`` when the fast path is active, identity
+    otherwise. Applied at call-build time (not import time) so flipping
+    ``REPRO_NUMBA`` between runs of one process behaves predictably for
+    the *next* kernel compiled; already-wrapped functions keep their
+    binding."""
+    if numba_enabled():  # pragma: no cover - depends on the environment
+        return _numba.njit(func)
+    return func

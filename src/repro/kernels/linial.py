@@ -1,0 +1,164 @@
+"""Whole-run kernels for the polynomial set-system substrates.
+
+Both algorithms broadcast the current color every round and locally
+evaluate degree-<= d polynomials over GF(q) (base-q digits of the color
+as coefficients). The kernels evaluate *all nodes' polynomials at one
+point per array pass* — Horner over the digit planes — and detect
+collisions edge-wise on the directed CSR edge list:
+
+* ``linial`` — per schedule step, find each node's smallest evaluation
+  point uncovered by neighbor collisions. Nodes decided at point ``i``
+  drop out of the edge set before point ``i+1``, so late points touch a
+  vanishing fraction of the graph (the per-node loop pays full degree
+  work at every point).
+* ``defective-refinement`` — one round; every point is scored and each
+  node keeps the first point minimizing its collision count.
+
+Round/message accounting is closed-form: every node broadcasts every
+non-final round, so each of the ``L`` rounds delivers exactly ``2m``
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.errors import ColoringError, RoundLimitExceeded
+from repro.kernels import KernelUnsupported, register_kernel
+from repro.kernels.segments import dense_int_table, edge_endpoints, require_int
+from repro.local.network import RunResult
+
+
+def _digit_planes(colors: np.ndarray, q: int, d: int) -> np.ndarray:
+    """Base-q digits of every color as a (d+1, n) coefficient array."""
+    planes = np.empty((d + 1, colors.size), dtype=np.int64)
+    value = colors.copy()
+    for k in range(d + 1):
+        planes[k] = value % q
+        value //= q
+    return planes
+
+
+def _eval_point(planes: np.ndarray, i: int, q: int) -> np.ndarray:
+    """All nodes' polynomials evaluated at point ``i`` (Horner)."""
+    vals = planes[-1].copy()
+    for k in range(planes.shape[0] - 2, -1, -1):
+        vals *= i
+        vals += planes[k]
+        vals %= q
+    return vals
+
+
+def _check_encodable(colors: np.ndarray, q: int, d: int) -> None:
+    """Decline inputs the per-node ``_encode`` would reject mid-run (the
+    fallback then raises the authentic error, in authentic node order)."""
+    if colors.size and (colors.min() < 0 or colors.max() >= q ** (d + 1)):
+        raise KernelUnsupported("color does not fit in q^(d+1)")
+
+
+def _refine_round(
+    colors: np.ndarray, src: np.ndarray, dst: np.ndarray, q: int, d: int
+) -> np.ndarray:
+    """One cover-free refinement over the whole graph; exact twin of
+    ``repro.substrates.linial._refine`` at every node."""
+    n = colors.size
+    planes = _digit_planes(colors, q, d)
+    # only edges whose endpoints hold *different* colors constrain.
+    live = colors[src] != colors[dst]
+    e_src, e_dst = src[live], dst[live]
+    undecided = np.ones(n, dtype=bool)
+    new_colors = np.empty(n, dtype=np.int64)
+    for i in range(q):
+        vals = _eval_point(planes, i, q)
+        covered = np.zeros(n, dtype=bool)
+        covered[e_src[vals[e_src] == vals[e_dst]]] = True
+        pick = undecided & ~covered
+        if pick.any():
+            new_colors[pick] = i * q + vals[pick]
+            undecided &= ~pick
+            if not undecided.any():
+                break
+            keep = undecided[e_src]
+            e_src, e_dst = e_src[keep], e_dst[keep]
+    if undecided.any():
+        worst = int(np.flatnonzero(undecided)[0])
+        degree = int(np.count_nonzero(src == worst))
+        raise ColoringError(
+            "cover-free refinement failed: no uncovered evaluation point "
+            f"(q={q}, d={d}, degree={degree})"
+        )
+    return new_colors
+
+
+def linial_kernel(graph: Any, extras: Dict[str, Any], max_rounds: int) -> RunResult:
+    from repro.substrates.linial import linial_schedule
+
+    if "initial_coloring" not in extras or "m0" not in extras:
+        raise KernelUnsupported("missing linial extras")
+    n = graph.n
+    if n == 0:
+        return RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+    colors = dense_int_table(extras["initial_coloring"], n)
+    m0 = require_int(extras["m0"])
+    schedule, _ = linial_schedule(m0, graph.max_degree)
+    outputs: Dict[int, int]
+    if not schedule:
+        outputs = dict(enumerate(colors.tolist()))
+        return RunResult(rounds=0, messages=0, outputs=outputs, round_messages=[])
+    if len(schedule) > max_rounds:
+        raise RoundLimitExceeded(max_rounds, n)
+    _check_encodable(colors, schedule[0].q, schedule[0].d)
+    src, dst = edge_endpoints(graph)
+    for step in schedule:
+        # schedule invariant: each step's q^(d+1) covers the previous
+        # step's q^2 output palette, so only step 0 needs the range check.
+        colors = _refine_round(colors, src, dst, step.q, step.d)
+    per_round = int(graph.indices.size)
+    rounds = len(schedule)
+    outputs = dict(enumerate(colors.tolist()))
+    return RunResult(
+        rounds=rounds,
+        messages=per_round * rounds,
+        outputs=outputs,
+        round_messages=[per_round] * rounds,
+    )
+
+
+def defective_kernel(graph: Any, extras: Dict[str, Any], max_rounds: int) -> RunResult:
+    if not {"initial_coloring", "q", "d"} <= set(extras):
+        raise KernelUnsupported("missing defective-refinement extras")
+    n = graph.n
+    if n == 0:
+        return RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+    q = require_int(extras["q"])
+    d = require_int(extras["d"])
+    if q < 1 or d < 0:
+        raise KernelUnsupported("degenerate (q, d)")
+    colors = dense_int_table(extras["initial_coloring"], n)
+    _check_encodable(colors, q, d)
+    if max_rounds < 1:
+        raise RoundLimitExceeded(max_rounds, n)
+    src, dst = edge_endpoints(graph)
+    planes = _digit_planes(colors, q, d)
+    best_point = np.zeros(n, dtype=np.int64)
+    best_count = np.diff(graph.indptr).astype(np.int64) + 1
+    best_val = np.zeros(n, dtype=np.int64)
+    for i in range(q):
+        vals = _eval_point(planes, i, q)
+        collisions = np.bincount(src[vals[src] == vals[dst]], minlength=n)
+        better = collisions < best_count
+        if better.any():
+            best_point[better] = i
+            best_count[better] = collisions[better]
+            best_val[better] = vals[better]
+    outputs = dict(enumerate((best_point * q + best_val).tolist()))
+    per_round = int(graph.indices.size)
+    return RunResult(
+        rounds=1, messages=per_round, outputs=outputs, round_messages=[per_round]
+    )
+
+
+register_kernel("linial", linial_kernel)
+register_kernel("defective-refinement", defective_kernel)

@@ -1,0 +1,74 @@
+"""Whole-run kernel for the H-partition peeler.
+
+One array pass per peeling level instead of one per round per node: the
+level-``r`` removals are exactly the alive nodes whose degree, minus the
+removal announcements accumulated so far, is at or below the threshold.
+Announcement delivery is a ``bincount`` scatter over the directed edges
+leaving the just-removed set. The number of passes is the number of
+levels — O(log n) for bounded-arboricity graphs — and each pass is
+O(active edges).
+
+A stalled peel (threshold below the remaining min degree, no
+announcements in flight) never terminates; the per-node run grinds to
+``max_rounds`` and raises, so the kernel raises the same
+:class:`~repro.errors.RoundLimitExceeded` immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.errors import RoundLimitExceeded
+from repro.kernels import KernelUnsupported, register_kernel
+from repro.kernels.segments import edge_endpoints
+from repro.local.network import RunResult
+
+
+def peeler_kernel(graph: Any, extras: Dict[str, Any], max_rounds: int) -> RunResult:
+    if "threshold" not in extras:
+        raise KernelUnsupported("missing threshold")
+    threshold = extras["threshold"]
+    if type(threshold) not in (int, float):
+        raise KernelUnsupported("non-numeric threshold")
+    n = graph.n
+    if n == 0:
+        return RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    src, dst = edge_endpoints(graph)
+
+    level = np.zeros(n, dtype=np.int64)
+    remaining = degrees.copy()
+    newly = remaining <= threshold  # level 1: removed at initialization
+    level[newly] = 1
+    alive = ~newly
+    sent = int(degrees[newly].sum())
+    messages = sent
+    rounds = 0
+    round_messages: List[int] = []
+    while alive.any():
+        if rounds >= max_rounds:
+            raise RoundLimitExceeded(max_rounds, int(alive.sum()))
+        if not newly.any():
+            # no announcements in flight and nobody below threshold: the
+            # simulation would idle all the way to the round budget.
+            raise RoundLimitExceeded(max_rounds, int(alive.sum()))
+        rounds += 1
+        round_messages.append(sent)
+        announced = np.bincount(dst[newly[src]], minlength=n)
+        remaining -= announced
+        newly = alive & (remaining <= threshold)
+        level[newly] = rounds + 1
+        alive &= ~newly
+        sent = int(degrees[newly].sum())
+        messages += sent
+    return RunResult(
+        rounds=rounds,
+        messages=messages,
+        outputs=dict(enumerate(level.tolist())),
+        round_messages=round_messages,
+    )
+
+
+register_kernel("h-partition", peeler_kernel)

@@ -1,0 +1,112 @@
+"""Shared CSR segment helpers for the round kernels.
+
+Everything here is pure numpy over the ``indptr``/``indices`` arrays of a
+:class:`~repro.graphcore.CompactGraph`. The helpers encode the two
+conventions every kernel leans on:
+
+* **Directed-edge view.** ``edge_endpoints`` expands the CSR arrays into
+  parallel ``src``/``dst`` arrays of all ``2m`` directed edges — the
+  natural shape for "gather neighbor state" (``state[dst]``) and
+  "scatter per-node aggregates" (``np.bincount(src, ...)``).
+* **Strict input coercion.** ``dense_int_table`` converts the per-node
+  input dicts the :class:`~repro.local.algorithm.Context` carries into a
+  dense int64 vector *only* when the dict is exactly a total map from the
+  dense node ids to machine ints. Anything else —
+  missing nodes, alias-prone key types (``2.0`` hashes like ``2``),
+  values outside int64 — raises :class:`~repro.kernels.KernelUnsupported`
+  so the per-node path keeps authority over exotic inputs and their
+  exact error behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.kernels import KernelUnsupported
+
+
+def edge_endpoints(graph: Any) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``2m`` directed edges as ``(src, dst)`` int64 arrays, in CSR
+    row order (the order the engines drain outboxes in)."""
+    src = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr)
+    )
+    dst = graph.indices.astype(np.int64, copy=False)
+    return src, dst
+
+
+def dense_int_table(table: Any, n: int) -> np.ndarray:
+    """Coerce a node->int dict over exactly the dense ids ``0..n-1`` to an
+    int64 vector; raise :class:`KernelUnsupported` for anything looser."""
+    if not isinstance(table, dict) or len(table) != n:
+        raise KernelUnsupported("per-node table is not a total dense map")
+    for k, v in table.items():
+        # bools hash like 0/1 and floats like 2.0 hash like 2 — a dict
+        # using them serves the same lookups but defeats vectorized
+        # bounds checking; float *values* would silently truncate where
+        # the per-node arithmetic keeps them float. Decline both.
+        if type(k) is not int or type(v) is not int:
+            raise KernelUnsupported("non-int node key or value")
+    try:
+        keys = np.fromiter(table.keys(), dtype=np.int64, count=n)
+        values = np.fromiter(table.values(), dtype=np.int64, count=n)
+    except (TypeError, ValueError, OverflowError):
+        raise KernelUnsupported("table not coercible to int64")
+    if n and (keys.min() < 0 or keys.max() >= n):
+        raise KernelUnsupported("node key out of range")
+    if n and np.bincount(keys, minlength=n).max() != 1:
+        raise KernelUnsupported("duplicate node keys")
+    out = np.empty(n, dtype=np.int64)
+    out[keys] = values
+    return out
+
+
+def require_int(value: Any) -> int:
+    """The value as a plain int, or :class:`KernelUnsupported`."""
+    if type(value) is not int:
+        raise KernelUnsupported("expected a plain int extra")
+    return value
+
+
+def segment_gather(
+    indptr: np.ndarray, indices: np.ndarray, members: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The concatenated neighbor lists of ``members``.
+
+    Returns ``(neighbors, owner)`` where ``owner[j]`` is the position in
+    ``members`` whose adjacency row ``neighbors[j]`` came from — the
+    standard repeat/cumsum CSR gather, no Python loop over members.
+    """
+    counts = (indptr[members + 1] - indptr[members]).astype(np.int64)
+    total = int(counts.sum())
+    owner = np.repeat(np.arange(members.size, dtype=np.int64), counts)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), owner
+    starts = indptr[members].astype(np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return indices[starts[owner] + offsets].astype(np.int64, copy=False), owner
+
+
+def repr_rank_order(n: int) -> np.ndarray:
+    """The dense ids ``0..n-1`` sorted by ``repr`` — i.e. the vectorized
+    twin of ``sorted(range(n), key=repr)`` (decimal strings compare by
+    code point exactly like numpy's unicode dtype)."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.argsort(np.arange(n).astype(str), kind="stable").astype(np.int64)
+
+
+def repr_sorted_nodes(graph: Any) -> list:
+    """``sorted(graph.nodes(), key=repr)``, vectorized for CSR graphs.
+
+    The default initial colorings (Linial, Cole-Vishkin, defective) all
+    rank nodes by repr; at a million nodes the Python sort costs more
+    than the kernel round it feeds, so CSR inputs take the argsort path.
+    """
+    if hasattr(graph, "indptr") and hasattr(graph, "indices"):
+        return repr_rank_order(graph.n).tolist()
+    return sorted(graph.nodes(), key=repr)

@@ -172,11 +172,27 @@ def run(
     from repro.engine import use_engine
     from repro.graphcore import CompactGraph
 
+    compact_fallback = False
     if isinstance(graph, CompactGraph) and not spec.compact_ok:
         # Runners that need the full networkx surface get a transparent
         # conversion; compact-capable runners skip it (the whole point of
-        # the CSR data layer at scale).
+        # the CSR data layer at scale). The conversion is disclosed — a
+        # warning at call time, a flag in the result — so campaigns over
+        # compact workloads can't silently pay the slow path (the same
+        # contract as the engine layer's ``effective_engine``).
+        import warnings
+
+        from repro.errors import PerformanceWarning
+
+        warnings.warn(
+            f"algorithm {name!r} is not compact-capable: converting the "
+            "CompactGraph input to networkx for this run (slow path; "
+            "result.extra['compact_fallback'] records it)",
+            PerformanceWarning,
+            stacklevel=2,
+        )
         graph = graph.to_networkx()
+        compact_fallback = True
     with use_engine(engine):
         result = spec.runner(graph, **params)
     if result.name != name or result.kind != spec.kind:
@@ -184,4 +200,6 @@ def run(
             f"runner for {name!r} returned mislabeled run "
             f"({result.name!r}, {result.kind!r})"
         )
+    if compact_fallback:
+        result.extra["compact_fallback"] = True
     return result

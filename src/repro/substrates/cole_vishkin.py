@@ -44,6 +44,8 @@ def root_forest(forest: nx.Graph) -> Dict[NodeId, Optional[NodeId]]:
     O(diameter) distributedly — callers who already own an orientation
     (H-partitions, forest decompositions) pass their own parent map instead.
     """
+    if hasattr(forest, "indptr") and hasattr(forest, "indices"):
+        return _root_forest_csr(forest)
     if not nx.is_forest(forest):
         raise InvalidParameterError("root_forest requires a forest")
     parent: Dict[NodeId, Optional[NodeId]] = {}
@@ -52,6 +54,43 @@ def root_forest(forest: nx.Graph) -> Dict[NodeId, Optional[NodeId]]:
         parent[root] = None
         for child, par in nx.bfs_predecessors(forest.subgraph(component), root):
             parent[child] = par
+    return parent
+
+
+def _root_forest_csr(forest) -> Dict[NodeId, Optional[NodeId]]:
+    """The CSR twin of the networkx branch: same parent map (parents in a
+    tree are traversal-independent — the unique neighbor toward the root),
+    same roots (each component's maximum-repr vertex), with the forest
+    check folded into the traversal (a visited non-parent neighbor is a
+    cycle)."""
+    from collections import deque
+
+    from repro.kernels.segments import repr_rank_order
+
+    n = forest.n
+    flat = forest.indices.tolist()
+    bounds = forest.indptr.tolist()
+    parent: Dict[NodeId, Optional[NodeId]] = {}
+    visited = [False] * n
+    # Descending repr order: the first unvisited vertex of a component is
+    # exactly max(component, key=repr).
+    for start in repr_rank_order(n).tolist()[::-1]:
+        if visited[start]:
+            continue
+        parent[start] = None
+        visited[start] = True
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            par = parent[u]
+            for w in flat[bounds[u] : bounds[u + 1]]:
+                if w == par:
+                    continue
+                if visited[w]:
+                    raise InvalidParameterError("root_forest requires a forest")
+                visited[w] = True
+                parent[w] = u
+                queue.append(w)
     return parent
 
 
@@ -173,7 +212,9 @@ def cole_vishkin_forest_coloring(
     if missing:
         raise InvalidParameterError(f"parent map misses vertices {missing!r}")
 
-    ordered = sorted(forest.nodes(), key=repr)
+    from repro.kernels.segments import repr_sorted_nodes
+
+    ordered = repr_sorted_nodes(forest)
     initial = {v: i for i, v in enumerate(ordered)}
     iterations = cv_iterations(len(ordered))
     result = run_on_graph(
@@ -225,5 +266,8 @@ _registry.register(
         runner=_run_cole_vishkin,
         invariants=("proper-vertex-coloring", "palette-bound"),
         requires=("forest",),
+        # root_forest has a CSR branch; everything else is duck-typed
+        # reads + run_on_graph (the cole-vishkin kernel at scale).
+        compact_ok=True,
     )
 )

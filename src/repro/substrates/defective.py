@@ -106,7 +106,9 @@ def defective_coloring(
     if graph.number_of_nodes() == 0:
         return DefectiveColoring(coloring={}, num_colors=0, defect_bound=0, q=q, d=1)
     if initial is None:
-        initial = {v: i for i, v in enumerate(sorted(graph.nodes(), key=repr))}
+        from repro.kernels.segments import repr_sorted_nodes
+
+        initial = {v: i for i, v in enumerate(repr_sorted_nodes(graph))}
     m = max(initial.values()) + 1
     d = 1
     while q ** (d + 1) < m:

@@ -68,7 +68,12 @@ def _best_step(m: int, delta: int) -> Optional[LinialStep]:
     return best
 
 
-@functools.lru_cache(maxsize=4096)
+# Small LRU: the memo is keyed per (m0, Delta), and xl sweeps present a
+# new m0 for every graph size — an uncapped (or generously capped) memo
+# grows without limit across a campaign. Any single run touches only a
+# handful of (m0, Delta) pairs (one per recursion level), so a small
+# window keeps the hit rate while bounding memory.
+@functools.lru_cache(maxsize=64)
 def _schedule_cached(m0: int, delta: int) -> Tuple[Tuple[LinialStep, ...], int]:
     schedule: List[LinialStep] = []
     m = m0
@@ -178,8 +183,9 @@ def linial_coloring(
     if graph.number_of_nodes() == 0:
         return {}
     if initial is None:
-        ordered = sorted(graph.nodes(), key=repr)
-        initial = {v: i for i, v in enumerate(ordered)}
+        from repro.kernels.segments import repr_sorted_nodes
+
+        initial = {v: i for i, v in enumerate(repr_sorted_nodes(graph))}
     m0 = max(initial.values()) + 1
     result = run_on_graph(
         graph,

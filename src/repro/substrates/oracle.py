@@ -186,6 +186,8 @@ _registry.register(
         rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
         runner=_run_oracle_vertex,
         invariants=("proper-vertex-coloring", "palette-bound"),
+        # Linial + KW both have round kernels; the checker only reads edges().
+        compact_ok=True,
     )
 )
 _registry.register(
@@ -198,5 +200,7 @@ _registry.register(
         rounds_bound="measured O(Delta*log Delta + log* n); modeled O~(sqrt(Delta)) + O(log* n)",
         runner=_run_oracle_edge,
         invariants=("proper-edge-coloring", "palette-bound"),
+        # The line graph is built fresh from edges()/neighbors() reads.
+        compact_ok=True,
     )
 )

@@ -99,6 +99,30 @@ class TestWorkloadsCommand:
         assert by_name["torus"]["seeded"] is False
 
 
+class TestKernelsCommand:
+    def test_lists_kernels_and_compact_split(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "linial" in out and "cole-vishkin" in out
+        assert "compact-capable algorithms" in out
+        assert "split" in out  # the one conversion-fallback algorithm
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["kernels", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "linial" in payload["kernels"]
+        assert len(payload["compact_ok"]) >= 12
+        assert payload["compact_fallback"] == ["split"]
+        assert isinstance(payload["numba_enabled"], bool)
+
+    def test_algorithms_shows_compact_marker(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "[compact]" in out
+
+
 class TestEngineJobsDefaults:
     def test_unknown_engine_is_actionable(self, capsys):
         with pytest.raises(SystemExit):

@@ -171,11 +171,50 @@ print("run from saved .csrg byte-identical to in-memory")
 EOF
 echo "graph smoke: csrg build/info/convert/run agree with in-memory"
 
+echo "== kernel smoke: CSR kernel path == reference path, numba flag inert =="
+# One seeded xl cell through the engine layer three ways: the vector
+# engine's whole-round kernel path with the numba fast path requested
+# (REPRO_NUMBA=1; numba is absent in CI, so this exercises the graceful
+# degradation) and denied (REPRO_NUMBA=0), plus the reference engine's
+# per-node path. All three dumps must be byte-identical — outputs,
+# rounds, and the per-round message profile.
+cat > "$SMOKE_DIR/kernel_probe.py" <<'EOF'
+import json, sys
+from repro import workloads
+from repro.engine import get_engine
+from repro.kernels.segments import repr_rank_order
+from repro.substrates.linial import LinialAlgorithm
+
+engine, out = sys.argv[1], sys.argv[2]
+graph = workloads.build("xl-grid", {"rows": 40, "cols": 40}, seed=0)
+ordered = repr_rank_order(graph.n).tolist()
+extras = {"initial_coloring": {v: i for i, v in enumerate(ordered)}, "m0": graph.n}
+result = get_engine(engine).run(graph, LinialAlgorithm(), extras=extras)
+assert result.engine == engine, f"unexpected fallback: ran {result.engine}"
+payload = {
+    "outputs": {str(k): v for k, v in sorted(result.outputs.items())},
+    "rounds": result.rounds,
+    "messages": result.messages,
+    "round_messages": list(result.round_messages),
+}
+with open(out, "w") as handle:
+    json.dump(payload, handle, sort_keys=True)
+EOF
+REPRO_NUMBA=0 python "$SMOKE_DIR/kernel_probe.py" vector "$SMOKE_DIR/kernel_numpy.json"
+REPRO_NUMBA=1 python "$SMOKE_DIR/kernel_probe.py" vector "$SMOKE_DIR/kernel_flag.json"
+python "$SMOKE_DIR/kernel_probe.py" reference "$SMOKE_DIR/kernel_ref.json"
+cmp "$SMOKE_DIR/kernel_numpy.json" "$SMOKE_DIR/kernel_flag.json"
+cmp "$SMOKE_DIR/kernel_numpy.json" "$SMOKE_DIR/kernel_ref.json"
+echo "kernel smoke: kernel run byte-identical to reference, with and without REPRO_NUMBA"
+
 # Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
 # streaming executor's kill-loss and overhead (BENCH_stream.json);
 # bench_verify gates invariant-verification overhead (BENCH_verify.json);
 # bench_graphcore gates the CSR conversion-skip speedup and the 1M-node
-# build's peak RSS (BENCH_graphcore.json).
+# build's peak RSS (BENCH_graphcore.json); bench_kernels gates the
+# whole-round kernel layer (BENCH_kernels.json: 1M-node linial in
+# single-digit seconds, >= 10x kernel-vs-per-node speedup, >= 12
+# compact_ok algorithms).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
@@ -183,4 +222,5 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
   python benchmarks/bench_store_cache.py
   python benchmarks/bench_engine_comparison.py
   python benchmarks/bench_graphcore.py
+  python benchmarks/bench_kernels.py
 fi
