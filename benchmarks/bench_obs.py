@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Benchmark: the instrumentation layer must be free when it is off.
+
+Three gates, written to ``BENCH_obs.json`` (nonzero exit if any fails):
+
+* **disabled-accessor-ns** — per-call cost of the module-level accessors
+  (``obs.incr`` and ``with obs.span(...)``) with no runtime installed:
+  the price every hot loop in the engines/kernels/registry pays
+  unconditionally. Gate: <= ``--max-disabled-ns`` per call (default
+  500 ns — one global load, one None check, generous for slow CI).
+* **campaign-overhead-pct** — wall time of one in-process campaign grid
+  with per-cell instrumentation (the always-on ``obs.collect`` scope in
+  ``_execute_cell``) against the same grid with collection monkeypatched
+  out entirely. Median of ``--repeats`` interleaved A/B rounds. Gate:
+  <= ``--max-overhead-pct`` (default 5).
+* **traced-campaign-runs** — the same grid once more with a JSONL trace
+  sink attached (``REPRO_TRACE``): not a speed gate, a liveness gate —
+  the trace file must validate against the event schema with zero
+  problems. Tracing is opt-in, so its cost is reported, not gated.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro import obs
+from repro.analysis.campaign import CampaignCell, CampaignRunner
+from repro.obs.schema import validate_trace_file
+
+#: A grid heavy enough that per-cell instrumentation cost is measured
+#: against real work, small enough to run in seconds.
+GRID = [
+    CampaignCell("linial", "planar-grid", {"rows": 24, "cols": 24}, seed=0),
+    CampaignCell("star4", "random-regular", {"n": 192, "d": 8}, seed=0),
+    CampaignCell("greedy", "erdos-renyi", {"n": 192, "p": 0.1}, seed=0),
+    CampaignCell("forest", "forest-union", {"n": 192, "a": 2}, seed=0),
+]
+
+
+def bench_disabled_accessors(calls: int) -> dict:
+    assert obs.active() is None, "instrumentation must be off for this probe"
+    gc.collect()
+    started = time.perf_counter()
+    for _ in range(calls):
+        obs.incr("bench.counter", value=1, label="x")
+    incr_s = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.span"):
+            pass
+    span_s = time.perf_counter() - started
+    return {
+        "calls": calls,
+        "incr_ns_per_call": incr_s / calls * 1e9,
+        "span_ns_per_call": span_s / calls * 1e9,
+    }
+
+
+@contextlib.contextmanager
+def _collection_disabled():
+    """Run the campaign with the per-cell obs scope stubbed out — the
+    'what if this PR's instrumentation did not exist' baseline."""
+    import repro.obs.core as core
+
+    @contextlib.contextmanager
+    def null_collect(trace_path=None, trace=None):
+        yield core.ObsRuntime()  # never installed: accessors stay no-ops
+
+    original = core.collect
+    core.collect = null_collect
+    obs.collect = null_collect
+    try:
+        yield
+    finally:
+        core.collect = original
+        obs.collect = original
+
+
+def _run_grid() -> float:
+    gc.collect()
+    started = time.perf_counter()
+    rows = CampaignRunner(GRID, jobs=1).run()
+    elapsed = time.perf_counter() - started
+    assert all(r["error"] is None for r in rows), "bench grid must be green"
+    return elapsed
+
+
+def bench_campaign_overhead(repeats: int) -> dict:
+    instrumented, stripped = [], []
+    # Interleave A/B so drift (thermal, page cache) hits both sides.
+    for _ in range(repeats):
+        instrumented.append(_run_grid())
+        with _collection_disabled():
+            stripped.append(_run_grid())
+    base = statistics.median(stripped)
+    inst = statistics.median(instrumented)
+    return {
+        "repeats": repeats,
+        "cells_per_run": len(GRID),
+        "stripped_median_s": base,
+        "instrumented_median_s": inst,
+        "overhead_pct": (inst - base) / base * 100.0 if base > 0 else 0.0,
+    }
+
+
+def bench_traced_campaign(trace_path: str) -> dict:
+    previous = os.environ.get(obs.TRACE_ENV)
+    os.environ[obs.TRACE_ENV] = trace_path
+    try:
+        elapsed = _run_grid()
+    finally:
+        if previous is None:
+            os.environ.pop(obs.TRACE_ENV, None)
+        else:
+            os.environ[obs.TRACE_ENV] = previous
+    events, problems = validate_trace_file(trace_path)
+    return {
+        "wall_s": elapsed,
+        "trace_events": events,
+        "trace_problems": problems,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-disabled-ns", type=float, default=500.0)
+    parser.add_argument("--max-overhead-pct", type=float, default=5.0)
+    parser.add_argument("--calls", type=int, default=1_000_000)
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args()
+
+    disabled = bench_disabled_accessors(args.calls)
+    overhead = bench_campaign_overhead(args.repeats)
+    trace_file = args.out + ".trace.jsonl"
+    if os.path.exists(trace_file):
+        os.remove(trace_file)
+    traced = bench_traced_campaign(trace_file)
+    os.remove(trace_file)
+
+    worst_disabled = max(
+        disabled["incr_ns_per_call"], disabled["span_ns_per_call"]
+    )
+    gates = {
+        "disabled_accessor_ns": {
+            "required_max": args.max_disabled_ns,
+            "measured": worst_disabled,
+            "passed": worst_disabled <= args.max_disabled_ns,
+        },
+        "campaign_overhead_pct": {
+            "required_max": args.max_overhead_pct,
+            "measured": overhead["overhead_pct"],
+            "passed": overhead["overhead_pct"] <= args.max_overhead_pct,
+        },
+        "traced_campaign_valid": {
+            "required": "trace validates, zero problems",
+            "measured": (
+                f"{traced['trace_events']} events, "
+                f"{len(traced['trace_problems'])} problems"
+            ),
+            "passed": traced["trace_events"] > 0
+            and not traced["trace_problems"],
+        },
+    }
+    payload = {
+        "benchmark": "obs",
+        "disabled_path": disabled,
+        "campaign_overhead": overhead,
+        "traced_campaign": {
+            "wall_s": traced["wall_s"],
+            "trace_events": traced["trace_events"],
+            "trace_problem_count": len(traced["trace_problems"]),
+        },
+        "gates": gates,
+        "passed": all(g["passed"] for g in gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    print(
+        f"disabled accessors: incr {disabled['incr_ns_per_call']:.0f}ns, "
+        f"span {disabled['span_ns_per_call']:.0f}ns per call "
+        f"(gate <= {args.max_disabled_ns:.0f}ns)"
+    )
+    print(
+        f"campaign overhead: {overhead['stripped_median_s']:.3f}s stripped -> "
+        f"{overhead['instrumented_median_s']:.3f}s instrumented = "
+        f"{overhead['overhead_pct']:+.2f}% (gate <= {args.max_overhead_pct:.0f}%)"
+    )
+    print(
+        f"traced campaign: {traced['wall_s']:.3f}s, "
+        f"{traced['trace_events']} valid events"
+    )
+    print(f"wrote {args.out}")
+    if not payload["passed"]:
+        failing = [k for k, g in gates.items() if not g["passed"]]
+        print(f"FAILED gates: {', '.join(failing)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -260,61 +260,173 @@ def _row_base(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+#: Version stamp of the per-cell metrics blob (the store's ``metrics``
+#: column). Bump when the blob's shape changes; readers must tolerate
+#: older stamps.
+METRICS_VERSION = 1
+
+
 def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: build the graph, run through the registry under
     the requested engine, run the algorithm's declared invariant oracles
     (see :mod:`repro.verify`) while graph and output are still in hand,
     and report one structured row carrying the verdict. Errors are
-    isolated per cell — a failing cell never takes the campaign down."""
-    from repro import registry
+    isolated per cell — a failing cell never takes the campaign down.
 
+    Every cell executes under its own :func:`repro.obs.collect` scope:
+    phase timings (build/compute/verify), the cell's counter snapshot
+    (kernel dispatches and declines, engine rounds, compact-fallback
+    conversions) and any warnings the run raised are folded into a
+    ``metrics`` blob on the row — observation only; nothing in the blob
+    feeds back into the deterministic columns or the run key. With
+    ``REPRO_TRACE`` set (inherited by forked pool workers) the scope also
+    streams span/point events to the per-run JSONL trace file.
+    """
+    import warnings as _warnings
+
+    from repro import obs, registry
     from repro.engine import record_engine_runs
 
     row: Dict[str, Any] = _row_base(payload)
-    try:
-        graph = build_workload(
-            payload["workload"], payload["workload_params"], seed=payload["seed"]
-        )
-        started = time.perf_counter()
-        with record_engine_runs() as engines_ran:
-            run = registry.run(
-                payload["algorithm"],
-                graph,
-                engine=payload["engine"],
-                **payload["algo_params"],
-            )
-        wall_ms = (time.perf_counter() - started) * 1000.0
-        # Provenance honesty: if the cell pinned an engine but a different
-        # scheduler actually executed (the vector engine's tracer fallback),
-        # say so in the row — the store's ``engine`` column must keep the
-        # run-key's pinned value, so the disclosure lives in ``extra``.
-        effective = "+".join(engines_ran)
-        if engines_ran and payload["engine"] and effective != payload["engine"]:
-            run.extra = dict(run.extra, effective_engine=effective)
-        verdict: Optional[str] = None
-        violation: Optional[str] = None
-        if payload.get("verify", True):
-            from repro.verify import verify_run
+    cell_started = time.perf_counter()
+    build_ms: Optional[float] = None
+    wall_ms: Optional[float] = None
+    verify_ms: Optional[float] = None
+    with obs.collect(trace_path=obs.trace_path_from_env()) as runtime, \
+            _warnings.catch_warnings(record=True) as caught:
+        # Record every warning (no "once" dedup inside the cell — the
+        # runner dedupes across the campaign) without leaking them to the
+        # worker's stderr; the blob and the runner's re-emit are the
+        # user-facing channel.
+        _warnings.simplefilter("always")
+        try:
+            if runtime.trace is not None:
+                runtime.emit("point", "campaign.cell", cell=CampaignCell(
+                    algorithm=payload["algorithm"],
+                    workload=payload["workload"],
+                    workload_params=payload["workload_params"],
+                    seed=payload["seed"],
+                    algo_params=payload["algo_params"],
+                    engine=payload["engine"],
+                ).key())
+            with obs.span("campaign.build", workload=payload["workload"]):
+                graph = build_workload(
+                    payload["workload"], payload["workload_params"],
+                    seed=payload["seed"],
+                )
+            build_ms = (time.perf_counter() - cell_started) * 1000.0
+            started = time.perf_counter()
+            with record_engine_runs() as engines_ran:
+                run = registry.run(
+                    payload["algorithm"],
+                    graph,
+                    engine=payload["engine"],
+                    **payload["algo_params"],
+                )
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            # Provenance honesty: if the cell pinned an engine but a different
+            # scheduler actually executed (the vector engine's tracer fallback),
+            # say so in the row — the store's ``engine`` column must keep the
+            # run-key's pinned value, so the disclosure lives in ``extra``.
+            effective = "+".join(engines_ran)
+            if engines_ran and payload["engine"] and effective != payload["engine"]:
+                run.extra = dict(run.extra, effective_engine=effective)
+            verdict: Optional[str] = None
+            violation: Optional[str] = None
+            if payload.get("verify", True):
+                from repro.verify import verify_run
 
-            outcome = verify_run(graph, run, params=payload["algo_params"])
-            verdict, violation = outcome.status, outcome.violation
-        row.update(
-            n=graph.number_of_nodes(),
-            m=graph.number_of_edges(),
-            kind=run.kind,
-            colors_used=run.colors_used,
-            rounds_actual=run.rounds_actual,
-            rounds_modeled=run.rounds_modeled,
-            wall_ms=wall_ms,
-            extra=run.extra,
-            verified=verdict == "ok",
-            verdict=verdict,
-            violation=violation,
-            error=None,
+                verify_started = time.perf_counter()
+                with obs.span("campaign.verify", algorithm=payload["algorithm"]):
+                    outcome = verify_run(graph, run, params=payload["algo_params"])
+                verify_ms = (time.perf_counter() - verify_started) * 1000.0
+                verdict, violation = outcome.status, outcome.violation
+            row.update(
+                n=graph.number_of_nodes(),
+                m=graph.number_of_edges(),
+                kind=run.kind,
+                colors_used=run.colors_used,
+                rounds_actual=run.rounds_actual,
+                rounds_modeled=run.rounds_modeled,
+                wall_ms=wall_ms,
+                extra=run.extra,
+                verified=verdict == "ok",
+                verdict=verdict,
+                violation=violation,
+                error=None,
+            )
+        except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
+            row.update(error=f"{type(exc).__name__}: {exc}")
+        row["metrics"] = _cell_metrics(
+            runtime,
+            caught,
+            build_ms=build_ms,
+            compute_ms=wall_ms,
+            verify_ms=verify_ms,
+            total_ms=(time.perf_counter() - cell_started) * 1000.0,
         )
-    except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
-        row.update(error=f"{type(exc).__name__}: {exc}")
     return row
+
+
+def _cell_metrics(
+    runtime: "Any",
+    caught: Sequence[Any],
+    build_ms: Optional[float],
+    compute_ms: Optional[float],
+    verify_ms: Optional[float],
+    total_ms: float,
+) -> Dict[str, Any]:
+    """The per-cell metrics blob: phase timings, the counter/timer
+    snapshot, and the (category, message) list of warnings the cell
+    raised. Plain JSON by construction — it rides the row back over the
+    pool and into the store's ``metrics`` column."""
+    snapshot = runtime.snapshot()
+    warning_pairs: List[List[str]] = []
+    for item in caught:
+        pair = [type(item.message).__name__, str(item.message)]
+        if pair not in warning_pairs:
+            warning_pairs.append(pair)
+    blob: Dict[str, Any] = {
+        "v": METRICS_VERSION,
+        "total_ms": round(total_ms, 3),
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+    }
+    if build_ms is not None:
+        blob["build_ms"] = round(build_ms, 3)
+    if compute_ms is not None:
+        blob["compute_ms"] = round(compute_ms, 3)
+    if verify_ms is not None:
+        blob["verify_ms"] = round(verify_ms, 3)
+    if warning_pairs:
+        blob["warnings"] = warning_pairs
+    return blob
+
+
+def _reemit_warning(category: str, message: str) -> None:
+    """Surface one deduped worker warning from the runner process.
+
+    Cells capture their warnings into the metrics blob (a campaign over a
+    compact workload with a non-compact algorithm would otherwise print
+    one identical ``PerformanceWarning`` per cell); the runner re-raises
+    each distinct (category, message) pair exactly once per campaign,
+    mapped back to its real category where the library defines it."""
+    import warnings as _warnings
+
+    from repro.engine import EngineFallbackWarning
+    from repro.errors import PerformanceWarning
+
+    categories = {
+        "PerformanceWarning": PerformanceWarning,
+        "EngineFallbackWarning": EngineFallbackWarning,
+        "DeprecationWarning": DeprecationWarning,
+        "RuntimeWarning": RuntimeWarning,
+    }
+    _warnings.warn(
+        f"[campaign] {message}",
+        categories.get(category, UserWarning),
+        stacklevel=3,
+    )
 
 
 def _error_row(payload: Dict[str, Any], message: str) -> Dict[str, Any]:
@@ -349,10 +461,24 @@ class CampaignProgress:
     elapsed_s: float = 0.0
 
     @property
-    def eta_s(self) -> Optional[float]:
-        if self.computed <= 0:
+    def rate(self) -> Optional[float]:
+        """Computed cells per second of compute-anchored wall time, or
+        ``None`` before the first computed cell lands (a pure hit scan
+        has no meaningful compute rate)."""
+        if self.computed <= 0 or self.elapsed_s <= 0:
             return None
-        return (self.elapsed_s / self.computed) * (self.total - self.done)
+        return self.computed / self.elapsed_s
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Remaining-cell extrapolation of :attr:`rate` — derived from
+        ``computed`` (cells that actually cost wall time), never from
+        ``done``, so a warm resume serving thousands of hits does not
+        collapse the estimate toward zero."""
+        rate = self.rate
+        if rate is None:
+            return None
+        return (self.total - self.done) / rate
 
 
 class _ProgressTracker:
@@ -450,6 +576,49 @@ class CampaignRunner:
         #: error totals where in-run duplicates count as hits) — the
         #: consistent source for summary lines.
         self.last_progress: Optional[CampaignProgress] = None
+        #: Aggregated telemetry of the most recent :meth:`run` — merged
+        #: per-cell counters, deduped warnings, worker utilization. Also
+        #: persisted to the attached store's ``meta`` table under
+        #: ``last_campaign`` (the source of ``repro stats``' hit-rate
+        #: line: cache hits never rewrite rows, so only the runner can
+        #: report them).
+        self.last_summary: Optional[Dict[str, Any]] = None
+        # Per-index submit bookkeeping for queue-latency / occupancy /
+        # attempt metrics (runner side — workers cannot see the queue).
+        self._cell_meta: Dict[int, Dict[str, Any]] = {}
+
+    def _note_submit(self, index: int, occupancy: int) -> None:
+        """Record one submission of cell ``index`` with ``occupancy``
+        futures in flight (including this one). The first submission
+        anchors the queue-latency clock; later ones only bump the
+        attempt count (retries, pool-break requeues)."""
+        meta = self._cell_meta.get(index)
+        if meta is None:
+            self._cell_meta[index] = {
+                "queued_at": time.monotonic(),
+                "submits": 1,
+                "occupancy": occupancy,
+            }
+        else:
+            meta["submits"] += 1
+
+    def _enrich_metrics(self, index: int, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold the runner-side view into the worker's metrics blob:
+        queue latency (submit-to-resolve minus in-worker time), attempt
+        count, and the in-flight window occupancy at submit."""
+        meta = self._cell_meta.pop(index, None)
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            return row
+        metrics = dict(metrics)
+        if meta is not None:
+            in_worker = metrics.get("total_ms")
+            in_worker = float(in_worker) if isinstance(in_worker, (int, float)) else 0.0
+            waited_ms = (time.monotonic() - meta["queued_at"]) * 1000.0
+            metrics["queue_ms"] = round(max(0.0, waited_ms - in_worker), 3)
+            metrics["attempts"] = meta["submits"]
+            metrics["window"] = meta["occupancy"]
+        return dict(row, metrics=metrics)
 
     def _payload(self, cell: CampaignCell, engine: Optional[str] = None) -> Dict[str, Any]:
         return {
@@ -472,7 +641,15 @@ class CampaignRunner:
         # and the one folded into the run key cannot drift, hits are
         # served from the store, and computed rows are recorded the
         # instant they arrive.
+        from repro.obs import ObsRuntime
         from repro.store.keys import run_key
+
+        run_started = time.monotonic()
+        self._cell_meta = {}
+        aggregate = ObsRuntime()  # merged per-cell counter/timer snapshots
+        seen_warnings: set = set()
+        deduped_warnings: Dict[Tuple[str, str], int] = {}
+        busy_ms = 0.0
 
         cache = self.cache
         default_engine = self.engine
@@ -534,6 +711,20 @@ class CampaignRunner:
                 miss_indices.append(index)
 
         def on_row(index: int, row: Dict[str, Any]) -> None:
+            nonlocal busy_ms
+            row = self._enrich_metrics(index, row)
+            metrics = row.get("metrics")
+            if isinstance(metrics, Mapping):
+                aggregate.merge(metrics)
+                total_ms = metrics.get("total_ms")
+                if isinstance(total_ms, (int, float)):
+                    busy_ms += float(total_ms)
+                for category, message in metrics.get("warnings") or ():
+                    pair = (str(category), str(message))
+                    deduped_warnings[pair] = deduped_warnings.get(pair, 0) + 1
+                    if pair not in seen_warnings:
+                        seen_warnings.add(pair)
+                        _reemit_warning(*pair)
             if cache is not None:
                 row = dict(row, seed=seeds[index], cached=False, run_key=keys[index])
                 if keys[index] is not None:
@@ -557,6 +748,39 @@ class CampaignRunner:
         )
         self._stream(tasks, len(miss_indices), on_row, tracker)
         self.last_progress = tracker.progress
+        progress = tracker.progress
+        elapsed_s = time.monotonic() - run_started
+        capacity_ms = elapsed_s * 1000.0 * self.jobs
+        snapshot = aggregate.snapshot()
+        summary: Dict[str, Any] = {
+            "v": 1,
+            "cells": total,
+            "done": progress.done,
+            "hits": progress.hits,
+            "computed": progress.computed,
+            "errors": progress.errors,
+            "retried": progress.retried,
+            "elapsed_s": round(elapsed_s, 3),
+            "jobs": self.jobs,
+            "engine": default_engine,
+            "worker_utilization": (
+                round(min(1.0, busy_ms / capacity_ms), 4) if capacity_ms > 0 else None
+            ),
+            "counters": snapshot["counters"],
+            "timers": snapshot["timers"],
+            "warnings": [
+                [category, message, count]
+                for (category, message), count in sorted(deduped_warnings.items())
+            ],
+        }
+        self.last_summary = summary
+        if cache is not None:
+            # Best-effort: a read-only or vanished store must not fail a
+            # campaign whose rows all landed.
+            try:
+                cache.store.set_meta("last_campaign", summary)
+            except Exception:  # noqa: BLE001
+                pass
         return results  # type: ignore[return-value]
 
     # -- the streaming executor -------------------------------------------
@@ -574,7 +798,7 @@ class CampaignRunner:
         tasks = iter(tasks)
         if self.jobs == 1 or count <= 1:
             for index, payload in tasks:
-                on_row(index, self._execute_inline(payload, tracker))
+                on_row(index, self._execute_inline(payload, tracker, index=index))
             return
 
         window = self.window or max(2 * self.jobs, 2)
@@ -613,6 +837,7 @@ class CampaignRunner:
                             pool.shutdown(wait=False)
                             pool = ProcessPoolExecutor(max_workers=workers)
                             continue
+                        self._note_submit(entry[0], len(pending))
                         solo = True
                         break
                     if backlog:
@@ -638,6 +863,8 @@ class CampaignRunner:
                             break
                         pool.shutdown(wait=False)
                         pool = ProcessPoolExecutor(max_workers=workers)
+                        continue
+                    self._note_submit(entry[0], len(pending))
                 if not pending:
                     break
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -678,13 +905,20 @@ class CampaignRunner:
             pool.shutdown(wait=True)
 
     def _execute_inline(
-        self, payload: Dict[str, Any], tracker: _ProgressTracker
+        self,
+        payload: Dict[str, Any],
+        tracker: _ProgressTracker,
+        index: Optional[int] = None,
     ) -> Dict[str, Any]:
+        if index is not None:
+            self._note_submit(index, 1)
         row = _execute_cell(payload)
         attempt = 0
         while row.get("error") and attempt < self.retries:
             attempt += 1
             tracker.retried()
+            if index is not None:
+                self._note_submit(index, 1)
             row = _execute_cell(payload)
         return row
 

@@ -243,7 +243,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             for seed in seeds
         ]
-        rows = CampaignRunner(cells, engine=args.engine, jobs=_resolve_jobs(args)).run()
+        with _trace_env(getattr(args, "trace", None)):
+            rows = CampaignRunner(
+                cells, engine=args.engine, jobs=_resolve_jobs(args)
+            ).run()
 
     failures = 0
     for row in rows:
@@ -336,6 +339,33 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_env(path: Optional[str]):
+    """Scope ``REPRO_TRACE`` to one command: set it before any worker
+    pool forks (children inherit the env and append to the same JSONL
+    file), restore the previous value on exit so repeated ``main()``
+    calls (tests) cannot leak a trace gate into each other."""
+    import contextlib
+
+    from repro.obs import TRACE_ENV
+
+    if not path:
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def scope():
+        previous = os.environ.get(TRACE_ENV)
+        os.environ[TRACE_ENV] = str(path)
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(TRACE_ENV, None)
+            else:
+                os.environ[TRACE_ENV] = previous
+
+    return scope()
+
+
 def _progress_printer(min_interval_s: float = 0.1):
     """A ``CampaignRunner`` progress callback that repaints one stderr
     status line (cells done/total, hit/computed/error counts, ETA).
@@ -352,12 +382,17 @@ def _progress_printer(min_interval_s: float = 0.1):
         if progress.done < progress.total and now - last[0] < min_interval_s:
             return
         last[0] = now
+        # rate/eta extrapolate from *computed* cells only (cache hits are
+        # effectively free, and mixing them in would collapse the ETA of
+        # a warm resume toward zero).
+        rate = progress.rate
+        rate_text = f" rate={rate:.1f}/s" if rate is not None else ""
         eta = progress.eta_s
         eta_text = f" eta={eta:.0f}s" if eta is not None else ""
         print(
             f"\r[{progress.done}/{progress.total}] hits={progress.hits} "
             f"computed={progress.computed} errors={progress.errors} "
-            f"retried={progress.retried}{eta_text} ",
+            f"retried={progress.retried}{rate_text}{eta_text} ",
             end="",
             file=sys.stderr,
             flush=True,
@@ -416,7 +451,8 @@ def _campaign_cells(args: argparse.Namespace) -> int:
             retries=args.retries,
             progress=_progress_printer() if args.progress else None,
         )
-        results = runner.run()
+        with _trace_env(getattr(args, "trace", None)):
+            results = runner.run()
     finally:
         if store is not None:
             store.close()
@@ -639,6 +675,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             unverified=args.unverified,
             **{k: v for k, v in filters.items() if v is not None},
         )
+    if args.slowest is not None:
+        return _query_slowest(rows, args.slowest)
     if args.format == "json":
         text = json.dumps([stable_row(r) for r in rows], indent=1, sort_keys=True)
     elif args.format == "markdown":
@@ -660,6 +698,80 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"wrote {len(rows)} rows to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _query_slowest(rows: List[Dict[str, Any]], top: int) -> int:
+    """``repro query --slowest N``: rank stored rows by measured cell
+    time (the schema-v3 metrics blob's ``compute_ms``, falling back to
+    the ``wall_ms`` column for pre-v3 rows, with the fallback disclosed
+    per line and in a trailing note)."""
+    from repro.obs import campaign_stats
+
+    stats = campaign_stats(rows, top=top)
+    if not stats["slowest"]:
+        print("(no timed rows — the store has no wall_ms or metrics data)")
+        return 0
+    for item in stats["slowest"]:
+        key = item.get("run_key") or ""
+        key_text = f"  [{key[:12]}]" if key else ""
+        print(f"{item['ms']:>12.1f}ms  {item['cell']}  ({item['source']}){key_text}")
+    if stats["pre_v3"]:
+        print(
+            f"note: {stats['pre_v3']} of {stats['cells']} rows predate the "
+            "metrics column (schema v3); their timing falls back to wall_ms "
+            "— re-run their cells with --fresh to backfill per-phase metrics"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Aggregate stored per-cell metrics into the campaign report:
+    slowest cells, fallback/warning counters, cache-hit rate of the last
+    campaign, per-algorithm round/time distributions."""
+    from repro.obs import campaign_stats, render_stats
+
+    filters = {
+        "algorithm": args.algorithm,
+        "workload": args.workload,
+        "engine": args.query_engine,
+    }
+    with _open_store(args.store) as store:
+        rows = store.query(**{k: v for k, v in filters.items() if v is not None})
+        summary = store.get_meta("last_campaign")
+    stats = campaign_stats(rows, top=args.top)
+    print(render_stats(stats, summary=summary if isinstance(summary, dict) else None))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a JSONL trace file: ``show`` renders the per-process
+    timeline, ``validate`` checks every line against the event schema."""
+    from repro.obs import (
+        load_events,
+        render_events,
+        summarize_events,
+        validate_trace_file,
+    )
+
+    if not Path(args.file).exists():
+        raise SystemExit(f"no trace file at {args.file}")
+    if args.action == "validate":
+        count, problems = validate_trace_file(args.file)
+        for problem in problems:
+            print(problem)
+        print(f"{args.file}: {count} events, {len(problems)} problems")
+        return 1 if problems else 0
+    events = load_events(args.file)
+    summary = summarize_events(events)
+    total_span = sum(summary["span_ms"].values())
+    print(
+        f"{args.file}: {summary['events']} events across "
+        f"{len(summary['pids'])} process(es), "
+        f"{len(summary['names'])} distinct names, "
+        f"{total_span:.1f}ms total span time"
+    )
+    print(render_events(events, max_events=args.max_events, name_prefix=args.name or ""))
     return 0
 
 
@@ -929,6 +1041,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated workload seeds (each is one cell), e.g. 0,1,2,3",
     )
     run.add_argument("--out", help="write structured JSON results")
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="stream schema-versioned JSONL trace events (spans, engine "
+        "rounds, kernel dispatches) to FILE while the cells execute "
+        "(equivalent to setting REPRO_TRACE=FILE)",
+    )
     _add_engine_jobs(run)
     run.set_defaults(func=cmd_run)
 
@@ -1027,6 +1147,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated seeds for the cell grid, e.g. 0,1,2",
     )
+    campaign.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="stream schema-versioned JSONL trace events to FILE while "
+        "cells execute — worker processes inherit the gate and append to "
+        "the same file (equivalent to setting REPRO_TRACE=FILE; cells)",
+    )
     _add_engine_jobs(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -1114,8 +1242,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="json is deterministic (stable columns, sorted keys) — "
         "use it for resume/diff comparisons",
     )
+    query.add_argument(
+        "--slowest",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="print the N slowest stored cells by measured time (schema-v3 "
+        "metrics, wall_ms fallback for older rows) instead of a row dump",
+    )
     query.add_argument("--out", help="write the result to a file")
     query.set_defaults(func=cmd_query)
+
+    stats = sub.add_parser(
+        "stats",
+        help="aggregate stored per-cell metrics: slowest cells, fallback "
+        "counters, cache-hit rate, per-algorithm distributions",
+    )
+    stats.add_argument("--store", required=True, help="experiment store path")
+    stats.add_argument("--algorithm", default=None, help="filter rows")
+    stats.add_argument("--workload", default=None, help="filter rows")
+    stats.add_argument(
+        "--engine", dest="query_engine", default=None, help="filter rows"
+    )
+    stats.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="how many slowest cells to list (default 5)",
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a JSONL trace file written by --trace / REPRO_TRACE",
+    )
+    trace.add_argument(
+        "action", choices=("show", "validate"),
+        help="show renders the per-process timeline; validate checks "
+        "every line against the event schema",
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument(
+        "--max-events",
+        type=_positive_int,
+        default=200,
+        help="events rendered per process before truncating (show)",
+    )
+    trace.add_argument(
+        "--name",
+        default=None,
+        help="only render events whose name starts with this prefix, "
+        "e.g. engine. or kernel. (show)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     gc = sub.add_parser(
         "gc", help="drop unreachable experiment-store rows"

@@ -13,6 +13,7 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
+from repro import obs
 from repro.engine.base import Engine, note_engine_run
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.network import DEFAULT_MAX_ROUNDS, Network, RunResult
@@ -49,13 +50,31 @@ class ReferenceEngine(Engine):
             graph = graph.to_networkx()
         network = Network(graph)
         ctx = network.make_context(**(extras or {}))
-        result = network.run(
-            algorithm,
-            ctx,
-            max_rounds=DEFAULT_MAX_ROUNDS if max_rounds is None else max_rounds,
-            track_bandwidth=track_bandwidth,
-            crashes=crashes,
-            tracer=tracer,
-        )
+        with obs.span("engine.reference.run", algorithm=getattr(algorithm, "name", "?")):
+            result = network.run(
+                algorithm,
+                ctx,
+                max_rounds=DEFAULT_MAX_ROUNDS if max_rounds is None else max_rounds,
+                track_bandwidth=track_bandwidth,
+                crashes=crashes,
+                tracer=tracer,
+            )
+        rt = obs.active()
+        if rt is not None:
+            # The reference scheduler is opaque per round; its aggregate
+            # counters come from the result, and the per-round message
+            # profile becomes trace events when a sink is attached.
+            rt.incr("engine.runs", engine=self.name)
+            rt.incr("engine.rounds", result.rounds, engine=self.name)
+            rt.incr("engine.messages", result.messages, engine=self.name)
+            if rt.trace is not None:
+                for round_no, sent in enumerate(result.round_messages, start=1):
+                    rt.emit(
+                        "point",
+                        "engine.round",
+                        engine=self.name,
+                        round=round_no,
+                        sent=sent,
+                    )
         result.engine = self.name
         return result

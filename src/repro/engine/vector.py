@@ -44,11 +44,13 @@ vector execution that did not happen.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Any, Dict, List, Optional
 
 import networkx as nx
 
+from repro import obs
 from repro.engine.base import Engine, EngineFallbackWarning, note_engine_run
 from repro.errors import RoundLimitExceeded, SimulationError
 from repro.local.algorithm import Context, NodeAlgorithm
@@ -86,6 +88,8 @@ class VectorEngine(Engine):
             # the natural (and already-correct) host for it.
             from repro.engine.reference import ReferenceEngine
 
+            obs.incr("engine.tracer_fallback")
+            obs.incr("warnings.engine_fallback")
             warnings.warn(
                 "VectorEngine delegates tracer runs to ReferenceEngine: "
                 "results are identical, but this run executes on the "
@@ -122,13 +126,25 @@ class VectorEngine(Engine):
             # state no closed-form replay models, so they never dispatch.
             from repro import kernels
 
-            kernel = kernels.get_kernel(getattr(algorithm, "name", None))
+            algo_name = getattr(algorithm, "name", None)
+            kernel = kernels.get_kernel(algo_name)
             if kernel is not None:
                 try:
-                    result = kernel(graph, dict(extras or {}), max_rounds)
-                except kernels.KernelUnsupported:
-                    pass
+                    with obs.span(f"kernel.{algo_name}", n=graph.n):
+                        result = kernel(graph, dict(extras or {}), max_rounds)
+                except kernels.KernelUnsupported as exc:
+                    # The decline reasons are stable short strings (see the
+                    # kernel modules), so they are usable as counter labels.
+                    obs.incr("kernel.fallback", kernel=algo_name, reason=str(exc))
                 else:
+                    obs.incr(
+                        "kernel.dispatch",
+                        kernel=algo_name,
+                        backend="numba" if kernels.numba_enabled() else "numpy",
+                    )
+                    obs.incr("engine.runs", engine=self.name)
+                    obs.incr("engine.rounds", result.rounds, engine=self.name)
+                    obs.incr("engine.messages", result.messages, engine=self.name)
                     result.engine = self.name
                     return result
 
@@ -230,6 +246,14 @@ class VectorEngine(Engine):
         round_messages: List[int] = []
         crashed: set = set()
 
+        # Instrumentation is resolved once per run: ``rt is None`` (the
+        # default) keeps the round loop untouched; with a runtime the loop
+        # times its step/delivery phases and counts the sleep-hint skips
+        # (non-halted nodes the event-driven scheduler did not step).
+        rt = obs.active()
+        steps_total = 0
+        sleep_skips = 0
+
         while True:
             if halted_count == n:
                 break
@@ -282,6 +306,11 @@ class VectorEngine(Engine):
             else:
                 stepped = awake_sorted
 
+            if rt is not None:
+                steps_total += len(stepped)
+                sleep_skips += (n - halted_count) - len(stepped)
+                phase_started = time.perf_counter()
+
             for i in stepped:
                 node = nodes[i]
                 inbox = mail.get(i)
@@ -289,6 +318,11 @@ class VectorEngine(Engine):
                     inbox = []
                 node.inbox = inbox
                 algorithm.step(node, inbox, rounds, ctx)
+
+            if rt is not None:
+                step_ms = (time.perf_counter() - phase_started) * 1000.0
+                rt.observe("engine.vector.step_ms", step_ms)
+                phase_started = time.perf_counter()
 
             # Reconcile scheduling state, then collect this round's sends
             # (same delivery code as round 0, same ascending drain order).
@@ -315,7 +349,27 @@ class VectorEngine(Engine):
                     dirty = True
             in_flight = collect(stepped)
             messages += in_flight
+            if rt is not None:
+                deliver_ms = (time.perf_counter() - phase_started) * 1000.0
+                rt.observe("engine.vector.deliver_ms", deliver_ms)
+                if rt.trace is not None:
+                    rt.emit(
+                        "point",
+                        "engine.round",
+                        engine=self.name,
+                        round=rounds,
+                        stepped=len(stepped),
+                        sent=in_flight,
+                        step_ms=round(step_ms, 3),
+                        deliver_ms=round(deliver_ms, 3),
+                    )
 
+        if rt is not None:
+            rt.incr("engine.runs", engine=self.name)
+            rt.incr("engine.rounds", rounds, engine=self.name)
+            rt.incr("engine.messages", messages, engine=self.name)
+            rt.incr("engine.steps", steps_total, engine=self.name)
+            rt.incr("engine.sleep_skips", sleep_skips, engine=self.name)
         outputs = {ids[i]: algorithm.output(nodes[i]) for i in range(n)}
         return RunResult(
             rounds=rounds,

@@ -75,21 +75,12 @@ class Tracer:
     # ------------------------------------------------------------- rendering
 
     def render(self, max_events_per_round: int = 8) -> str:
-        """A compact textual timeline of the traced run."""
-        lines: List[str] = []
-        for rt in self.rounds:
-            headline = f"round {rt.round_no}: {len(rt.stepped)} stepped"
-            if rt.halted:
-                headline += f", halted {sorted(rt.halted, key=repr)}"
-            if rt.crashed:
-                headline += f", CRASHED {sorted(rt.crashed, key=repr)}"
-            lines.append(headline)
-            for sender, receiver, payload in rt.sent[:max_events_per_round]:
-                lines.append(f"    {sender!r} -> {receiver!r}: {payload}")
-            overflow = len(rt.sent) - max_events_per_round
-            if overflow > 0:
-                lines.append(f"    ... {overflow} more messages")
-        return "\n".join(lines)
+        """A compact textual timeline of the traced run (rendering lives
+        in :func:`repro.obs.render.render_rounds`, shared with the
+        ``repro trace show`` CLI; output is unchanged)."""
+        from repro.obs.render import render_rounds
+
+        return render_rounds(self.rounds, max_events_per_round=max_events_per_round)
 
     @property
     def total_recorded_messages(self) -> int:

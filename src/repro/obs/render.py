@@ -1,0 +1,122 @@
+"""Human-readable timelines: JSONL traces and simulator round traces.
+
+Two renderers share this module because they are the same instrument at
+two altitudes:
+
+* :func:`render_events` — the ``repro trace show`` backend: a per-process
+  timeline of the schema-versioned JSONL events a
+  :class:`~repro.obs.sinks.JsonlTraceSink` wrote (campaign cells, engine
+  rounds, kernel dispatches).
+* :func:`render_rounds` — the per-node altitude: the textual round
+  timeline :class:`~repro.local.trace.Tracer` historically rendered
+  itself (``Tracer.render`` now delegates here, byte-identically).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["render_events", "render_rounds"]
+
+
+def _fields_text(fields: Mapping[str, Any]) -> str:
+    return " ".join(f"{key}={fields[key]}" for key in fields)
+
+
+def _event_line(event: Mapping[str, Any]) -> str:
+    name = event.get("name", "?")
+    ts = event.get("ts_ms")
+    dur = event.get("dur_ms")
+    fields = event.get("fields") or {}
+    kind = event.get("kind", "?")
+    stamp = f"{ts:10.3f}ms" if isinstance(ts, (int, float)) else f"{'?':>12}"
+    marker = {"span": "⊢", "point": "·", "counter": "Σ", "meta": "#"}.get(kind, "?")
+    text = f"{stamp} {marker} {name}"
+    if isinstance(dur, (int, float)):
+        text += f" ({dur:.3f}ms)"
+    if fields:
+        text += f"  {_fields_text(fields)}"
+    return text
+
+
+def render_events(
+    events: Sequence[Mapping[str, Any]],
+    max_events: int = 200,
+    name_prefix: str = "",
+) -> str:
+    """A per-process timeline of decoded trace events.
+
+    Events are grouped by ``pid`` (a multi-worker campaign trace carries
+    several interleaved writers) and listed in ``seq`` order within each.
+    ``name_prefix`` filters to one event family (``engine.``, ``cell.``);
+    ``max_events`` truncates each process section with an overflow line,
+    so a million-round trace still renders instantly.
+    """
+    if name_prefix:
+        events = [
+            e for e in events
+            if str(e.get("name", "")).startswith(name_prefix)
+            or e.get("kind") == "meta"
+        ]
+    by_pid: Dict[Any, List[Mapping[str, Any]]] = {}
+    for event in events:
+        by_pid.setdefault(event.get("pid"), []).append(event)
+    lines: List[str] = []
+    for pid in sorted(by_pid, key=repr):
+        group = sorted(by_pid[pid], key=lambda e: (e.get("seq", 0),))
+        shown = [e for e in group if e.get("kind") != "meta"]
+        spans = sum(1 for e in shown if e.get("kind") == "span")
+        lines.append(
+            f"process {pid}: {len(shown)} events ({spans} spans)"
+        )
+        for event in shown[:max_events]:
+            lines.append("  " + _event_line(event))
+        overflow = len(shown) - max_events
+        if overflow > 0:
+            lines.append(f"  ... {overflow} more events")
+    if not lines:
+        return "(no events)"
+    return "\n".join(lines)
+
+
+def summarize_events(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate view of a trace: event counts per name, span time per
+    name, participating pids — the header ``repro trace show`` prints."""
+    per_name: Dict[str, int] = {}
+    span_ms: Dict[str, float] = {}
+    pids = set()
+    for event in events:
+        if event.get("kind") == "meta":
+            pids.add(event.get("pid"))
+            continue
+        pids.add(event.get("pid"))
+        name = str(event.get("name", "?"))
+        per_name[name] = per_name.get(name, 0) + 1
+        dur = event.get("dur_ms")
+        if event.get("kind") == "span" and isinstance(dur, (int, float)):
+            span_ms[name] = span_ms.get(name, 0.0) + dur
+    return {
+        "events": sum(per_name.values()),
+        "names": per_name,
+        "span_ms": {k: round(v, 3) for k, v in span_ms.items()},
+        "pids": sorted(pids, key=repr),
+    }
+
+
+def render_rounds(rounds: Iterable[Any], max_events_per_round: int = 8) -> str:
+    """The per-node round timeline (absorbed from ``Tracer.render``;
+    output is byte-identical to the historical implementation)."""
+    lines: List[str] = []
+    for rt in rounds:
+        headline = f"round {rt.round_no}: {len(rt.stepped)} stepped"
+        if rt.halted:
+            headline += f", halted {sorted(rt.halted, key=repr)}"
+        if rt.crashed:
+            headline += f", CRASHED {sorted(rt.crashed, key=repr)}"
+        lines.append(headline)
+        for sender, receiver, payload in rt.sent[:max_events_per_round]:
+            lines.append(f"    {sender!r} -> {receiver!r}: {payload}")
+        overflow = len(rt.sent) - max_events_per_round
+        if overflow > 0:
+            lines.append(f"    ... {overflow} more messages")
+    return "\n".join(lines)

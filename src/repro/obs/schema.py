@@ -1,0 +1,125 @@
+"""The trace-event schema: one JSON object per line, schema-versioned.
+
+Every event a :class:`~repro.obs.sinks.JsonlTraceSink` writes carries:
+
+* ``v`` (int) — :data:`EVENT_SCHEMA_VERSION`; readers reject files from
+  a future major schema instead of misreading them.
+* ``kind`` (str) — one of :data:`EVENT_KINDS`: ``meta`` (file/process
+  header), ``span`` (a timed scope, with ``dur_ms``), ``point`` (an
+  instant: a round, a dispatch decision, a cell landing), ``counter``
+  (a final counter snapshot flush).
+* ``name`` (str) — dotted event name (``engine.round``, ``cell.done``,
+  ``kernel.linial`` …).
+* ``ts_ms`` (number) — milliseconds since the emitting runtime was
+  installed (monotonic within one pid, not across pids).
+* ``pid`` (int) — emitting process (campaign workers interleave).
+* ``seq`` (int) — per-sink sequence number (total order within one pid).
+
+Optional: ``dur_ms`` (number, spans), ``fields`` (flat object of
+JSON-scalar labels/values). Nothing else — the validator rejects unknown
+top-level keys so the schema can only grow deliberately (bump the
+version when it does).
+
+:func:`validate_event` returns a list of problems (empty = valid);
+:func:`validate_trace_file` applies it line by line — the CI obs smoke
+and ``repro trace validate`` are both this function.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+EVENT_SCHEMA_VERSION = 1
+
+EVENT_KINDS = ("meta", "span", "point", "counter")
+
+_REQUIRED = ("v", "kind", "name", "ts_ms", "pid", "seq")
+_OPTIONAL = ("dur_ms", "fields")
+_ALLOWED = set(_REQUIRED) | set(_OPTIONAL)
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_event(event: Any) -> List[str]:
+    """Problems with one decoded event object (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event is {type(event).__name__}, not an object"]
+    problems: List[str] = []
+    for key in _REQUIRED:
+        if key not in event:
+            problems.append(f"missing required key {key!r}")
+    unknown = set(event) - _ALLOWED
+    if unknown:
+        problems.append(f"unknown keys {sorted(unknown)}")
+    version = event.get("v")
+    if "v" in event and version != EVENT_SCHEMA_VERSION:
+        problems.append(
+            f"schema version {version!r} != supported {EVENT_SCHEMA_VERSION}"
+        )
+    kind = event.get("kind")
+    if "kind" in event and kind not in EVENT_KINDS:
+        problems.append(f"unknown kind {kind!r} (expected one of {EVENT_KINDS})")
+    if "name" in event and (not isinstance(event["name"], str) or not event["name"]):
+        problems.append("name must be a non-empty string")
+    for key in ("ts_ms", "dur_ms"):
+        value = event.get(key)
+        if key in event and (isinstance(value, bool) or not isinstance(value, (int, float))):
+            problems.append(f"{key} must be a number, got {value!r}")
+    for key in ("pid", "seq"):
+        value = event.get(key)
+        if key in event and (isinstance(value, bool) or not isinstance(value, int)):
+            problems.append(f"{key} must be an integer, got {value!r}")
+    fields = event.get("fields")
+    if fields is not None:
+        if not isinstance(fields, dict):
+            problems.append("fields must be an object")
+        else:
+            bad = [k for k, v in fields.items() if not isinstance(v, _SCALARS)]
+            if bad:
+                problems.append(f"non-scalar field values under {sorted(bad)}")
+    return problems
+
+
+def validate_trace_file(path: Union[str, Path]) -> Tuple[int, List[str]]:
+    """Validate every line of a JSONL trace file.
+
+    Returns ``(event_count, problems)`` where each problem is prefixed
+    with its 1-based line number. An unparseable line is one problem, not
+    an exception — a truncated final line (the writer was SIGKILLed) is
+    an expected artifact, and the caller decides how strict to be.
+    """
+    count = 0
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            count += 1
+            for problem in validate_event(event):
+                problems.append(f"line {lineno}: {problem}")
+    return count, problems
+
+
+def load_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Decoded events of a trace file, skipping blank/truncated lines."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                decoded = json.loads(line)
+            except ValueError:
+                continue  # truncated tail of a killed writer
+            if isinstance(decoded, dict):
+                events.append(decoded)
+    return events

@@ -1,0 +1,197 @@
+"""Reporting over stored per-cell metrics: the ``repro stats`` backend.
+
+The campaign runner persists a compact metrics blob per computed cell
+(the store's schema-v3 ``metrics`` column): phase timings, the cell's
+counter snapshot (kernel dispatches and declines, engine rounds/steps,
+compact-fallback conversions, warnings), queue latency and in-flight
+window occupancy at submit. This module turns a set of store rows back
+into answers — which cells are slow, how often kernels declined, what
+the per-algorithm round/time distributions look like — without re-running
+anything.
+
+Rows that predate schema v3 have no blob (``metrics is None``); every
+aggregate here degrades explicitly (they are counted and reported as
+``pre_v3``, and timing falls back to the stored ``wall_ms`` column)
+rather than silently skewing the statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["campaign_stats", "render_stats"]
+
+#: Counter-name prefixes that mean "the fast path was not taken".
+FALLBACK_PREFIXES = (
+    "kernel.fallback",
+    "registry.compact_fallback",
+    "engine.tracer_fallback",
+    "warnings.",
+)
+
+
+def _cell_label(row: Mapping[str, Any]) -> str:
+    return (
+        f"{row.get('algorithm')} on {row.get('workload')} "
+        f"seed={row.get('seed')} [{row.get('engine')}]"
+    )
+
+
+def _cell_time_ms(row: Mapping[str, Any]) -> Optional[float]:
+    """The cell's measured compute time: the metrics blob's phase timing
+    when present, else the stored ``wall_ms`` column (pre-v3 rows)."""
+    metrics = row.get("metrics")
+    if isinstance(metrics, Mapping):
+        value = metrics.get("compute_ms")
+        if isinstance(value, (int, float)):
+            return float(value)
+    value = row.get("wall_ms")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _distribution(values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "min": round(min(values), 3),
+        "median": round(statistics.median(values), 3),
+        "mean": round(statistics.fmean(values), 3),
+        "max": round(max(values), 3),
+    }
+
+
+def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str, Any]:
+    """Aggregate a set of store rows into the ``repro stats`` payload."""
+    counters: Dict[str, float] = {}
+    pre_v3 = 0
+    timed: List[Any] = []
+    queue_ms: List[float] = []
+    per_algorithm: Dict[str, Dict[str, List[float]]] = {}
+    errors = 0
+    verdicts: Dict[str, int] = {}
+    for row in rows:
+        if row.get("error"):
+            errors += 1
+        verdict = row.get("verdict")
+        verdicts[str(verdict)] = verdicts.get(str(verdict), 0) + 1
+        metrics = row.get("metrics")
+        if not isinstance(metrics, Mapping):
+            pre_v3 += 1
+            metrics = None
+        if metrics:
+            for key, value in (metrics.get("counters") or {}).items():
+                counters[key] = counters.get(key, 0) + value
+            q = metrics.get("queue_ms")
+            if isinstance(q, (int, float)):
+                queue_ms.append(float(q))
+        ms = _cell_time_ms(row)
+        if ms is not None:
+            timed.append((ms, metrics is not None, row))
+            algo = str(row.get("algorithm"))
+            dist = per_algorithm.setdefault(algo, {"wall_ms": [], "rounds": []})
+            dist["wall_ms"].append(ms)
+        rounds = row.get("rounds_actual")
+        if isinstance(rounds, (int, float)):
+            per_algorithm.setdefault(
+                str(row.get("algorithm")), {"wall_ms": [], "rounds": []}
+            )["rounds"].append(float(rounds))
+    timed.sort(key=lambda item: -item[0])
+    slowest = [
+        {
+            "cell": _cell_label(row),
+            "ms": round(ms, 3),
+            "source": "metrics" if has_metrics else "wall_ms (pre-v3 row)",
+            "run_key": row.get("run_key"),
+        }
+        for ms, has_metrics, row in timed[:top]
+    ]
+    fallbacks = {
+        key: value
+        for key, value in sorted(counters.items())
+        if any(key.startswith(prefix) for prefix in FALLBACK_PREFIXES)
+    }
+    distributions = {
+        algo: {
+            "wall_ms": _distribution(dist["wall_ms"]) if dist["wall_ms"] else None,
+            "rounds": _distribution(dist["rounds"]) if dist["rounds"] else None,
+        }
+        for algo, dist in sorted(per_algorithm.items())
+    }
+    return {
+        "cells": len(rows),
+        "errors": errors,
+        "verdicts": dict(sorted(verdicts.items())),
+        "pre_v3": pre_v3,
+        "slowest": slowest,
+        "fallbacks": fallbacks,
+        "counters": dict(sorted(counters.items())),
+        "queue_ms": _distribution(queue_ms) if queue_ms else None,
+        "per_algorithm": distributions,
+    }
+
+
+def _dist_text(dist: Optional[Mapping[str, Any]]) -> str:
+    if not dist:
+        return "—"
+    return (
+        f"n={dist['count']} min={dist['min']} med={dist['median']} "
+        f"mean={dist['mean']} max={dist['max']}"
+    )
+
+
+def render_stats(
+    stats: Mapping[str, Any],
+    summary: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """The human-readable ``repro stats`` report. ``summary`` is the last
+    campaign's runner-level summary (store ``meta``): hit/computed
+    totals — the only place a cache-hit *rate* can come from, since
+    served-from-store cells never rewrite their rows."""
+    lines: List[str] = []
+    lines.append(
+        f"cells: {stats['cells']} stored, {stats['errors']} errored, "
+        f"verdicts: "
+        + ", ".join(f"{k}={v}" for k, v in stats["verdicts"].items())
+    )
+    if stats["pre_v3"]:
+        lines.append(
+            f"pre-v3 rows without metrics: {stats['pre_v3']} "
+            "(timings fall back to the wall_ms column)"
+        )
+    if summary:
+        served = summary.get("hits", 0)
+        done = summary.get("done", 0)
+        rate = (served / done * 100.0) if done else 0.0
+        lines.append(
+            f"last campaign: {done} cells, {served} cache hits "
+            f"({rate:.1f}% hit rate), {summary.get('computed', 0)} computed, "
+            f"{summary.get('errors', 0)} errors, "
+            f"{summary.get('retried', 0)} retried "
+            f"in {summary.get('elapsed_s', 0.0):.2f}s"
+        )
+        utilization = summary.get("worker_utilization")
+        if utilization is not None:
+            lines.append(
+                f"  worker utilization: {utilization * 100.0:.1f}% "
+                f"(jobs={summary.get('jobs')})"
+            )
+    if stats["queue_ms"]:
+        lines.append(f"queue latency ms: {_dist_text(stats['queue_ms'])}")
+    lines.append("slowest cells:")
+    if stats["slowest"]:
+        for item in stats["slowest"]:
+            lines.append(f"  {item['ms']:>10.1f}ms  {item['cell']}  [{item['source']}]")
+    else:
+        lines.append("  (no timed rows)")
+    lines.append("fallback / warning counters:")
+    if stats["fallbacks"]:
+        for key, value in stats["fallbacks"].items():
+            lines.append(f"  {key} = {value:g}")
+    else:
+        lines.append("  (none recorded — every cell took its fast path)")
+    lines.append("per-algorithm distributions:")
+    for algo, dists in stats["per_algorithm"].items():
+        lines.append(f"  {algo}:")
+        lines.append(f"    wall_ms: {_dist_text(dists['wall_ms'])}")
+        lines.append(f"    rounds:  {_dist_text(dists['rounds'])}")
+    return "\n".join(lines)

@@ -169,6 +169,7 @@ def run(
             f"algorithm {name!r} does not accept parameters {sorted(unknown)}; "
             f"accepted: {sorted(spec.params)}"
         )
+    from repro import obs
     from repro.engine import use_engine
     from repro.graphcore import CompactGraph
 
@@ -184,6 +185,8 @@ def run(
 
         from repro.errors import PerformanceWarning
 
+        obs.incr("registry.compact_fallback", algorithm=name)
+        obs.incr("warnings.performance")
         warnings.warn(
             f"algorithm {name!r} is not compact-capable: converting the "
             "CompactGraph input to networkx for this run (slow path; "
@@ -193,7 +196,7 @@ def run(
         )
         graph = graph.to_networkx()
         compact_fallback = True
-    with use_engine(engine):
+    with use_engine(engine), obs.span("registry.run", algorithm=name):
         result = spec.runner(graph, **params)
     if result.name != name or result.kind != spec.kind:
         raise InvalidParameterError(

@@ -130,6 +130,11 @@ class RunCache:
                 "error": row.get("error"),
                 "wall_ms": row.get("wall_ms"),
                 "extra": dict(extra) if isinstance(extra, Mapping) else {},
+                "metrics": (
+                    dict(row["metrics"])
+                    if isinstance(row.get("metrics"), Mapping)
+                    else None
+                ),
             }
         )
 
@@ -164,4 +169,5 @@ def _campaign_row(stored: Mapping[str, Any]) -> Dict[str, Any]:
         "error": None,
         "cached": True,
         "run_key": stored["run_key"],
+        "metrics": stored.get("metrics"),
     }

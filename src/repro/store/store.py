@@ -25,7 +25,7 @@ from repro.errors import InvalidParameterError
 
 PathLike = Union[str, Path]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Columns whose values are deterministic given the run key — no
 #: wall-clock, no timestamps. Resume/uninterrupted comparisons and the
@@ -54,7 +54,12 @@ STABLE_COLUMNS = (
 )
 
 #: All persisted columns (stable ones plus measurement metadata).
-COLUMNS = STABLE_COLUMNS + ("wall_ms", "extra", "created_at")
+#: ``metrics`` is the schema-v3 per-cell observability blob (phase
+#: timings, counter snapshot, queue latency — see :mod:`repro.obs`);
+#: NULL for rows recorded before v3 or outside a campaign. Deliberately
+#: *not* a stable column: instrumentation must never leak into
+#: resume/diff comparisons or run keys.
+COLUMNS = STABLE_COLUMNS + ("wall_ms", "extra", "metrics", "created_at")
 
 _JSON_COLUMNS = ("workload_params", "algo_params", "extra")
 
@@ -86,6 +91,7 @@ CREATE TABLE IF NOT EXISTS runs (
     error           TEXT,
     wall_ms         REAL,
     extra           TEXT,
+    metrics         TEXT,
     created_at      REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_runs_algorithm ON runs (algorithm);
@@ -110,6 +116,11 @@ _FILTERS = (
 #: them with NULL values, i.e. every pre-existing row starts *unverified*
 #: and ``repro verify`` / the next campaign fills the verdicts in.
 _V2_COLUMNS = ("verdict TEXT", "violation TEXT")
+
+#: Column schema v2 (PR 4-6 stores) lacks; the v2 -> v3 migration adds it
+#: with NULL values — pre-existing rows simply have no observability blob
+#: (``repro stats`` reports them as pre-v3 and falls back to ``wall_ms``).
+_V3_COLUMNS = ("metrics TEXT",)
 
 
 def stable_row(row: Mapping[str, Any]) -> Dict[str, Any]:
@@ -152,39 +163,45 @@ class ExperimentStore:
             ).fetchone()
             version = int(row["value"])
             if version == 1:
-                version = self._migrate_v1_to_v2()
+                version = self._add_columns(_V2_COLUMNS, target_version=2)
+            if version == 2:
+                version = self._add_columns(_V3_COLUMNS, target_version=3)
             if version != SCHEMA_VERSION:
                 raise InvalidParameterError(
                     f"{self.path}: store schema version {version} "
                     f"!= supported {SCHEMA_VERSION}"
                 )
 
-    def _migrate_v1_to_v2(self) -> int:
-        """Upgrade a PR-3-era store in place: add the ``verdict`` and
-        ``violation`` columns (NULL for every pre-existing row — they are
-        unverified until a campaign or ``repro verify`` revisits them).
-        Every other column is untouched, so v1 query results reproduce
-        byte-identically on the pre-existing column set. Idempotent under
-        concurrent first-opens (duplicate-column errors mean the other
-        writer won)."""
+    def _add_columns(self, columns: Sequence[str], target_version: int) -> int:
+        """One in-place additive migration step: add ``columns`` (NULL for
+        every pre-existing row) and stamp ``target_version``.
+
+        v1 -> v2 added ``verdict``/``violation`` (pre-existing rows are
+        unverified until a campaign or ``repro verify`` revisits them);
+        v2 -> v3 adds ``metrics`` (pre-existing rows have no observability
+        blob). Every other column is untouched, so earlier query results
+        reproduce byte-identically on the pre-existing column set.
+        Idempotent under concurrent first-opens (duplicate-column errors
+        mean the other writer won)."""
         existing = {
             raw[1] for raw in self._conn.execute("PRAGMA table_info(runs)").fetchall()
         }
-        for column in _V2_COLUMNS:
+        for column in columns:
             if column.split()[0] in existing:
                 continue
             try:
                 self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column}")
             except sqlite3.OperationalError as exc:  # pragma: no cover - race
                 # Only a racing writer's completed ALTER is ignorable; a
-                # lock timeout here must not stamp v2 without the columns.
+                # lock timeout here must not stamp the version without the
+                # columns.
                 if "duplicate column" not in str(exc).lower():
                     raise
         self._conn.execute(
             "UPDATE meta SET value = ? WHERE key = 'schema_version'",
-            (str(SCHEMA_VERSION),),
+            (str(target_version),),
         )
-        return SCHEMA_VERSION
+        return target_version
 
     def close(self) -> None:
         self._conn.close()
@@ -213,6 +230,12 @@ class ExperimentStore:
                 value = record.get(column)
                 if column in _JSON_COLUMNS:
                     value = json.dumps(value or {}, sort_keys=True)
+                elif column == "metrics":
+                    # NULL (not '{}') when absent: "no metrics" must stay
+                    # distinguishable from "empty metrics" (pre-v3 rows).
+                    value = (
+                        None if value is None else json.dumps(value, sort_keys=True)
+                    )
                 elif column == "verified" and value is not None:
                     value = int(bool(value))
                 values.append(value)
@@ -231,6 +254,8 @@ class ExperimentStore:
         row = dict(raw)
         for column in _JSON_COLUMNS:
             row[column] = json.loads(row[column]) if row.get(column) else {}
+        if row.get("metrics") is not None:
+            row["metrics"] = json.loads(row["metrics"])
         if row.get("verified") is not None:
             row["verified"] = bool(row["verified"])
         return row
@@ -283,6 +308,18 @@ class ExperimentStore:
         )
         return [self._decode(raw) for raw in cursor.fetchall()]
 
+    def slowest(self, limit: int = 10, **filters: Any) -> List[Dict[str, Any]]:
+        """The ``limit`` slowest rows by stored ``wall_ms``, descending
+        (the ``repro query --slowest`` backend). Rows without a wall
+        measurement (synthesized error rows) are excluded; whether a row
+        carries a v3 ``metrics`` blob is the caller's concern."""
+        if limit < 1:
+            raise InvalidParameterError("slowest limit must be >= 1")
+        rows = self.query(**filters)
+        timed = [r for r in rows if r.get("wall_ms") is not None]
+        timed.sort(key=lambda r: (-r["wall_ms"], r["run_key"]))
+        return timed[:limit]
+
     def distinct(self, column: str) -> List[Any]:
         """Sorted distinct values of one column (for summaries/CLI)."""
         if column not in COLUMNS:
@@ -291,6 +328,35 @@ class ExperimentStore:
             f"SELECT DISTINCT {column} FROM runs ORDER BY {column}"
         )
         return [raw[0] for raw in cursor.fetchall()]
+
+    # -- meta --------------------------------------------------------------
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Persist one JSON-encoded entry in the ``meta`` table (the
+        campaign runner stores its end-of-run summary here so ``repro
+        stats`` can report cache-hit rates — information no per-row
+        record can carry, since served-from-store cells never rewrite
+        their rows). ``schema_version`` is the store's own key and is
+        off-limits."""
+        if key == "schema_version":
+            raise InvalidParameterError("schema_version is store-managed")
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, json.dumps(value, sort_keys=True)),
+            )
+
+    def get_meta(self, key: str) -> Optional[Any]:
+        """The decoded ``meta`` entry under ``key``, or ``None``."""
+        raw = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if raw is None:
+            return None
+        try:
+            return json.loads(raw["value"])
+        except ValueError:
+            return raw["value"]
 
     # -- maintenance -------------------------------------------------------
 

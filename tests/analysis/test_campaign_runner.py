@@ -75,8 +75,11 @@ class TestCampaignRunner:
     def test_pool_matches_inline(self):
         inline = CampaignRunner(self.CELLS, engine="vector", jobs=1).run()
         pooled = CampaignRunner(self.CELLS, engine="vector", jobs=2).run()
+        # wall_ms and the metrics blob are timing measurements — they
+        # differ between any two executions by nature.
         strip = lambda rows: [
-            {k: v for k, v in r.items() if k != "wall_ms"} for r in rows
+            {k: v for k, v in r.items() if k not in ("wall_ms", "metrics")}
+            for r in rows
         ]
         assert strip(inline) == strip(pooled)
 
@@ -170,7 +173,7 @@ class TestStreamingExecutor:
         # engine differs by design: the cached path pins the process
         # default into every row (key consistency), the uncached path
         # reports the engine exactly as requested (here: None)
-        volatile = ("wall_ms", "cached", "run_key", "engine")
+        volatile = ("wall_ms", "metrics", "cached", "run_key", "engine")
         strip = lambda rows: [
             {k: v for k, v in r.items() if k not in volatile} for r in rows
         ]
@@ -181,8 +184,11 @@ class TestStreamingExecutor:
     def test_small_window_preserves_cell_order(self):
         inline = CampaignRunner(self.CELLS, jobs=1).run()
         windowed = CampaignRunner(self.CELLS, jobs=2, window=2).run()
+        # wall_ms and the metrics blob are timing measurements — they
+        # differ between any two executions by nature.
         strip = lambda rows: [
-            {k: v for k, v in r.items() if k != "wall_ms"} for r in rows
+            {k: v for k, v in r.items() if k not in ("wall_ms", "metrics")}
+            for r in rows
         ]
         assert strip(windowed) == strip(inline)
 

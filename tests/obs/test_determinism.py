@@ -1,0 +1,76 @@
+"""Instrumentation observes, it never participates: a traced run is
+byte-identical to an untraced one in every deterministic output — run
+keys, stored stable columns, colorings, rounds."""
+
+import json
+
+from repro import obs, registry, workloads
+from repro.analysis.campaign import CampaignCell, CampaignRunner
+from repro.store import ExperimentStore, RunCache, stable_row
+
+CELLS = [
+    CampaignCell("linial", "planar-grid", {"rows": 4, "cols": 4}, seed=0),
+    CampaignCell("star4", "random-regular", {"n": 16, "d": 4}, seed=1),
+    CampaignCell("greedy", "erdos-renyi", {"n": 24, "p": 0.2}, seed=2),
+]
+
+
+def _campaign(tmp_path, name, trace_path=None, monkeypatch=None):
+    if trace_path is not None:
+        monkeypatch.setenv(obs.TRACE_ENV, str(trace_path))
+    else:
+        monkeypatch.delenv(obs.TRACE_ENV, raising=False)
+    with ExperimentStore(tmp_path / name) as store:
+        runner = CampaignRunner(CELLS, cache=RunCache(store), jobs=1)
+        rows = runner.run()
+        stored = store.query()
+    return rows, stored
+
+
+def _deterministic(rows):
+    """The identity + outcome fields of campaign rows, serialized the way
+    the resume byte-compare does (metrics/wall_ms are measurements and
+    nondeterministic in ANY pair of runs, traced or not)."""
+    return json.dumps(
+        [stable_row(r) for r in rows], indent=1, sort_keys=True
+    )
+
+
+class TestTracedEqualsUntraced:
+    def test_campaign_rows_and_keys_identical(self, tmp_path, monkeypatch):
+        plain_rows, plain_stored = _campaign(tmp_path, "plain.db", None, monkeypatch)
+        trace_file = tmp_path / "trace.jsonl"
+        traced_rows, traced_stored = _campaign(
+            tmp_path, "traced.db", trace_file, monkeypatch
+        )
+        assert trace_file.exists()  # the traced run actually traced
+        assert [r["run_key"] for r in plain_rows] == [
+            r["run_key"] for r in traced_rows
+        ]
+        assert _deterministic(plain_stored) == _deterministic(traced_stored)
+
+    def test_registry_run_identical_under_collect(self):
+        graph = workloads.build("planar-grid", {"rows": 4, "cols": 4}, seed=0)
+        plain = registry.run("linial", graph)
+        with obs.collect():
+            observed = registry.run("linial", graph)
+        assert plain.coloring == observed.coloring
+        assert plain.colors_used == observed.colors_used
+        assert plain.rounds_actual == observed.rounds_actual
+
+    def test_run_key_blind_to_instrumentation(self, monkeypatch):
+        from repro.store.keys import run_key
+
+        kwargs = dict(
+            algorithm="linial",
+            algo_params={},
+            workload="planar-grid",
+            workload_params={"rows": 4, "cols": 4},
+            seed=0,
+            engine="reference",
+        )
+        untraced = run_key(**kwargs)
+        monkeypatch.setenv(obs.TRACE_ENV, "/tmp/anything.jsonl")
+        with obs.collect():
+            traced = run_key(**kwargs)
+        assert untraced == traced

@@ -1,0 +1,80 @@
+"""Timeline rendering: trace events and the absorbed Tracer.render."""
+
+import networkx as nx
+
+from repro.engine import get_engine
+from repro.local import NodeAlgorithm
+from repro.local.trace import Tracer
+from repro.obs import render_events, render_rounds, summarize_events
+
+
+def _events():
+    return [
+        {"v": 1, "kind": "meta", "name": "trace.open", "ts_ms": 0.0, "pid": 1, "seq": 0},
+        {"v": 1, "kind": "span", "name": "registry.run", "ts_ms": 5.0,
+         "dur_ms": 4.0, "pid": 1, "seq": 1, "fields": {"algorithm": "linial"}},
+        {"v": 1, "kind": "point", "name": "engine.round", "ts_ms": 6.0,
+         "pid": 2, "seq": 0, "fields": {"round": 1}},
+        {"v": 1, "kind": "span", "name": "registry.run", "ts_ms": 9.0,
+         "dur_ms": 2.0, "pid": 2, "seq": 1},
+    ]
+
+
+class TestRenderEvents:
+    def test_groups_by_pid_in_seq_order(self):
+        text = render_events(_events())
+        lines = text.splitlines()
+        assert lines[0] == "process 1: 1 events (1 spans)"
+        assert "registry.run" in lines[1]
+        assert lines[2] == "process 2: 2 events (1 spans)"
+        assert "engine.round" in lines[3]
+
+    def test_meta_events_hidden_but_counted_out(self):
+        assert "trace.open" not in render_events(_events())
+
+    def test_truncates_with_overflow_line(self):
+        text = render_events(_events(), max_events=1)
+        assert "... 1 more events" in text
+
+    def test_name_prefix_filter(self):
+        text = render_events(_events(), name_prefix="engine.")
+        assert "engine.round" in text
+        assert "registry.run" not in text
+
+    def test_empty(self):
+        assert render_events([]) == "(no events)"
+
+
+class TestSummarizeEvents:
+    def test_counts_and_span_time(self):
+        summary = summarize_events(_events())
+        assert summary["events"] == 3
+        assert summary["names"] == {"registry.run": 2, "engine.round": 1}
+        assert summary["span_ms"] == {"registry.run": 6.0}
+        assert summary["pids"] == [1, 2]
+
+
+class _TwoRound(NodeAlgorithm):
+    def initialize(self, node, ctx):
+        node.state["output"] = node.id
+
+    def step(self, node, inbox, round_no, ctx):
+        if round_no >= 2:
+            node.halt()
+        else:
+            for neighbor in node.neighbors:
+                node.send(neighbor, round_no)
+
+
+class TestRenderRounds:
+    def test_tracer_render_delegates_byte_identically(self):
+        tracer = Tracer()
+        get_engine("reference").run(nx.path_graph(4), _TwoRound(), tracer=tracer)
+        assert tracer.render() == render_rounds(tracer.rounds)
+        assert "round 1:" in tracer.render()
+
+    def test_message_overflow(self):
+        tracer = Tracer()
+        get_engine("reference").run(nx.complete_graph(6), _TwoRound(), tracer=tracer)
+        text = render_rounds(tracer.rounds, max_events_per_round=2)
+        assert "more messages" in text

@@ -1,0 +1,145 @@
+"""The reporting read side: campaign_stats aggregation, render_stats,
+and the stats / trace / query --slowest CLI surfaces."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import campaign_stats, render_stats
+
+
+def _row(algorithm="linial", ms=10.0, metrics=True, **over):
+    row = {
+        "algorithm": algorithm,
+        "workload": "planar-grid",
+        "seed": 0,
+        "engine": "reference",
+        "rounds_actual": 3.0,
+        "wall_ms": ms * 2,  # differs from compute_ms so the source is visible
+        "verdict": "ok",
+        "error": None,
+        "run_key": "k" * 64,
+        "metrics": (
+            {
+                "v": 1,
+                "compute_ms": ms,
+                "total_ms": ms,
+                "queue_ms": 1.5,
+                "counters": {"kernel.fallback[kernel=linial,reason=x]": 1},
+                "timers": {},
+            }
+            if metrics
+            else None
+        ),
+    }
+    row.update(over)
+    return row
+
+
+class TestCampaignStats:
+    def test_slowest_prefers_metrics_timing(self):
+        stats = campaign_stats([_row(ms=5.0), _row(ms=50.0)], top=1)
+        (slowest,) = stats["slowest"]
+        assert slowest["ms"] == 50.0
+        assert slowest["source"] == "metrics"
+
+    def test_pre_v3_rows_fall_back_to_wall_ms(self):
+        stats = campaign_stats([_row(ms=5.0, metrics=False)], top=5)
+        assert stats["pre_v3"] == 1
+        (slowest,) = stats["slowest"]
+        assert slowest["ms"] == 10.0  # the wall_ms column
+        assert "pre-v3" in slowest["source"]
+
+    def test_fallback_counters_filtered_by_prefix(self):
+        stats = campaign_stats([_row()], top=5)
+        assert "kernel.fallback[kernel=linial,reason=x]" in stats["fallbacks"]
+
+    def test_per_algorithm_distributions(self):
+        rows = [_row(ms=1.0), _row(ms=3.0), _row(algorithm="greedy", ms=2.0)]
+        stats = campaign_stats(rows, top=5)
+        linial = stats["per_algorithm"]["linial"]
+        assert linial["wall_ms"]["count"] == 2
+        assert linial["rounds"]["count"] == 2
+
+    def test_render_includes_hit_rate_from_summary(self):
+        text = render_stats(
+            campaign_stats([_row()], top=5),
+            summary={
+                "hits": 3, "done": 4, "computed": 1, "errors": 0,
+                "retried": 0, "elapsed_s": 1.0,
+                "worker_utilization": 0.5, "jobs": 2,
+            },
+        )
+        assert "3 cache hits (75.0% hit rate)" in text
+        assert "worker utilization: 50.0%" in text
+
+
+@pytest.fixture
+def small_store(tmp_path):
+    path = tmp_path / "runs.db"
+    assert (
+        main(
+            [
+                "campaign", "cells",
+                "--algorithms", "linial,greedy",
+                "--workloads", "planar-grid",
+                "--seeds", "0",
+                "--jobs", "1",
+                "--store", str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestStatsCli:
+    def test_exits_zero_with_cells(self, small_store, capsys):
+        assert main(["stats", "--store", str(small_store)]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 2 stored" in out
+        assert "slowest cells:" in out
+        assert "last campaign: 2 cells" in out
+
+    def test_missing_store_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", "--store", str(tmp_path / "nope.db")])
+
+
+class TestQuerySlowest:
+    def test_lists_and_notes_pre_v3(self, small_store, capsys):
+        import sqlite3
+
+        conn = sqlite3.connect(small_store)
+        conn.execute("UPDATE runs SET metrics = NULL WHERE algorithm = 'greedy'")
+        conn.commit()
+        conn.close()
+        assert main(["query", "--store", str(small_store), "--slowest", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "(metrics)" in out
+        assert "(wall_ms (pre-v3 row))" in out
+        assert "1 of 2 rows predate the metrics column" in out
+
+
+class TestTraceCli:
+    def test_show_and_validate(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "run", "--workload", "planar-grid",
+                    "--workload-param", "rows=3", "--workload-param", "cols=3",
+                    "--algorithm", "linial", "--jobs", "1",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        assert trace.exists()
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert main(["trace", "show", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "registry.run" in out
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "show", str(tmp_path / "none.jsonl")])

@@ -119,7 +119,8 @@ class TestCacheHitMiss:
 
     def test_pool_and_inline_agree(self, tmp_path):
         strip = lambda rows: [
-            {k: v for k, v in r.items() if k != "wall_ms"} for r in rows
+            {k: v for k, v in r.items() if k not in ("wall_ms", "metrics")}
+            for r in rows
         ]
         with ExperimentStore(tmp_path / "a.db") as store:
             inline = CampaignRunner(CELLS, cache=RunCache(store), jobs=1).run()

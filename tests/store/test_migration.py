@@ -83,9 +83,9 @@ class TestV1Migration:
         version = conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         ).fetchone()[0]
-        assert version == "2"
+        assert version == "3"
         columns = {r[1] for r in conn.execute("PRAGMA table_info(runs)")}
-        assert {"verdict", "violation"} <= columns
+        assert {"verdict", "violation", "metrics"} <= columns
         conn.close()
 
     def test_pre_existing_columns_byte_identical(self, tmp_path):

@@ -163,7 +163,7 @@ import json, sys
 rows = [json.load(open(p)) for p in sys.argv[1:3]]
 def strip(row):  # drop the per-invocation identity/timing fields
     return {k: v for k, v in row.items()
-            if k not in ("workload", "seed", "wall_ms", "workload_params",
+            if k not in ("workload", "seed", "wall_ms", "metrics", "workload_params",
                          "algo_params", "extra", "verified", "verdict", "violation", "kind")}
 a, b = (json.dumps([strip(r) for r in rs], sort_keys=True) for rs in rows)
 assert a == b, f"file-backed run diverged from in-memory:\n{a}\n{b}"
@@ -207,6 +207,31 @@ cmp "$SMOKE_DIR/kernel_numpy.json" "$SMOKE_DIR/kernel_flag.json"
 cmp "$SMOKE_DIR/kernel_numpy.json" "$SMOKE_DIR/kernel_ref.json"
 echo "kernel smoke: kernel run byte-identical to reference, with and without REPRO_NUMBA"
 
+echo "== obs smoke: traced campaign -> schema-valid JSONL, stats reports, traced == untraced =="
+# A small multi-worker campaign with --trace: every worker appends
+# schema-versioned events to one JSONL file, which must validate with
+# zero problems; `repro stats` over the store must report a nonzero cell
+# count; and the traced store's deterministic column set must be
+# byte-identical to an untraced run of the same grid (instrumentation
+# observes, it never participates).
+OBS_GRID=(--algorithms linial,star4,greedy --workloads planar-grid,random-regular
+          --seeds 0,1 --jobs 2)
+python -m repro campaign cells --store "$SMOKE_DIR/obs_traced.db" \
+  --trace "$SMOKE_DIR/obs_trace.jsonl" "${OBS_GRID[@]}" >/dev/null
+python -m repro trace validate "$SMOKE_DIR/obs_trace.jsonl" > "$SMOKE_DIR/obs_validate.out"
+grep -q " 0 problems" "$SMOKE_DIR/obs_validate.out"
+python -m repro stats --store "$SMOKE_DIR/obs_traced.db" > "$SMOKE_DIR/obs_stats.out"
+grep -q "^cells: [1-9]" "$SMOKE_DIR/obs_stats.out"
+grep -q "hit rate" "$SMOKE_DIR/obs_stats.out"
+python -m repro query --store "$SMOKE_DIR/obs_traced.db" --slowest 3 > "$SMOKE_DIR/obs_slow.out"
+grep -q "metrics" "$SMOKE_DIR/obs_slow.out"
+python -m repro campaign cells --store "$SMOKE_DIR/obs_plain.db" \
+  "${OBS_GRID[@]}" >/dev/null
+python -m repro query --store "$SMOKE_DIR/obs_traced.db" --format json --out "$SMOKE_DIR/obs_traced.json" >/dev/null
+python -m repro query --store "$SMOKE_DIR/obs_plain.db" --format json --out "$SMOKE_DIR/obs_plain.json" >/dev/null
+cmp "$SMOKE_DIR/obs_traced.json" "$SMOKE_DIR/obs_plain.json"
+echo "obs smoke: trace validates, stats reports, traced store byte-identical to untraced"
+
 # Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
 # streaming executor's kill-loss and overhead (BENCH_stream.json);
 # bench_verify gates invariant-verification overhead (BENCH_verify.json);
@@ -214,7 +239,9 @@ echo "kernel smoke: kernel run byte-identical to reference, with and without REP
 # build's peak RSS (BENCH_graphcore.json); bench_kernels gates the
 # whole-round kernel layer (BENCH_kernels.json: 1M-node linial in
 # single-digit seconds, >= 10x kernel-vs-per-node speedup, >= 12
-# compact_ok algorithms).
+# compact_ok algorithms); bench_obs gates the instrumentation layer
+# (BENCH_obs.json: disabled accessors <= 500ns/call, campaign overhead
+# <= 5%, traced campaign emits a schema-valid JSONL file).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
@@ -223,4 +250,5 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
   python benchmarks/bench_engine_comparison.py
   python benchmarks/bench_graphcore.py
   python benchmarks/bench_kernels.py
+  python benchmarks/bench_obs.py
 fi
