@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Benchmark: the static-analysis pass is fast enough to gate every CI run.
+
+``repro check`` sits in tools/ci.sh *before* pytest, so its cost is paid
+on every push; a slow checker gets deleted from CI, and a deleted
+checker enforces nothing. Two gates, written to ``BENCH_checks.json``
+(nonzero exit if either fails):
+
+* **full-scan-s** — median wall time of a complete scan of this
+  repository (every rule, every file, discovery + parse + dispatch
+  included). Gate: <= ``--max-scan-s`` (default 10, the ISSUE budget;
+  measured ~1s, so the gate is a regression tripwire, not a target).
+* **self-clean** — the scan must also come back with zero unwaived
+  violations: a red repo makes the timing meaningless (CI would already
+  be failing ahead of this bench).
+
+Run:  PYTHONPATH=src python benchmarks/bench_checks.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.checks import run_checks
+
+
+def bench_full_scan(repeats: int) -> dict:
+    times = []
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_checks()
+        times.append(time.perf_counter() - started)
+    assert report is not None
+    return {
+        "repeats": repeats,
+        "files": report.files,
+        "rules": len(report.rules),
+        "violations_fired": report.fired,
+        "violations_waived": report.waived,
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "max_s": max(times),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-scan-s", type=float, default=10.0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_checks.json")
+    args = parser.parse_args()
+
+    scan = bench_full_scan(args.repeats)
+
+    gates = {
+        "full_scan_s": {
+            "required_max": args.max_scan_s,
+            "measured": scan["median_s"],
+            "passed": scan["median_s"] <= args.max_scan_s,
+        },
+        "self_clean": {
+            "required": "zero unwaived violations on this repository",
+            "measured": (
+                f"{scan['violations_fired']} fired, "
+                f"{scan['violations_waived']} waived"
+            ),
+            "passed": scan["violations_fired"] == 0,
+        },
+    }
+    payload = {
+        "benchmark": "checks",
+        "full_scan": scan,
+        "gates": gates,
+        "passed": all(g["passed"] for g in gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    print(
+        f"full scan: {scan['files']} files, {scan['rules']} rules, "
+        f"median {scan['median_s']:.3f}s over {scan['repeats']} runs "
+        f"(gate <= {args.max_scan_s:.0f}s)"
+    )
+    print(
+        f"self-lint: {scan['violations_fired']} fired, "
+        f"{scan['violations_waived']} waived"
+    )
+    print(f"wrote {args.out}")
+    if not payload["passed"]:
+        failing = [k for k, g in gates.items() if not g["passed"]]
+        print(f"FAILED gates: {', '.join(failing)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -779,7 +779,7 @@ class CampaignRunner:
             # campaign whose rows all landed.
             try:
                 cache.store.set_meta("last_campaign", summary)
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001 - best-effort meta write; a read-only store must not fail a finished campaign
                 pass
         return results  # type: ignore[return-value]
 

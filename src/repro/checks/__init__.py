@@ -1,0 +1,72 @@
+"""Project-native static analysis (``repro check``).
+
+An AST-based pass that enforces the invariants this codebase's
+correctness story rests on but pytest cannot see: determinism of run
+paths, completeness of the self-registering registries, purity of the
+whole-round kernels, exception hygiene, frozen artifact schemas, and
+fork safety of module state. Rules never import the code they analyze —
+everything is read from source text and ``ast`` — so a broken module
+still gets checked rather than crashing the checker.
+
+Public surface::
+
+    from repro.checks import run_checks
+    report = run_checks()          # scan the installed repro tree
+    report.fired                   # unwaived violation count
+    report.to_json()               # machine-readable report
+
+Suppressions are per-line waivers with mandatory rationale::
+
+    # repro-check: ok <rule> — <why this site is correct>
+    # repro-check: file ok <rule> — <why this whole file is exempt>
+
+See DESIGN.md ("Static analysis layer") for the rule catalogue and how
+to add a checker.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import (
+    CHECK_FAMILIES,
+    CheckRule,
+    FileChecker,
+    ProjectChecker,
+    Violation,
+    register_checker,
+    rule_names,
+)
+
+# NB: the catalogue accessor cannot be exported as `rules` — the lazy
+# import of the `repro.checks.rules` subpackage would shadow it on the
+# package object the moment the registry loads.
+from repro.checks.base import rules as rule_catalogue
+from repro.checks.baseline import baseline_path, write_baseline
+from repro.checks.engine import (
+    REPORT_VERSION,
+    CheckReport,
+    detect_root,
+    load_project,
+    render_json,
+    run_checks,
+)
+from repro.errors import CheckError
+
+__all__ = [
+    "CHECK_FAMILIES",
+    "CheckError",
+    "CheckReport",
+    "CheckRule",
+    "FileChecker",
+    "ProjectChecker",
+    "REPORT_VERSION",
+    "Violation",
+    "baseline_path",
+    "detect_root",
+    "load_project",
+    "register_checker",
+    "render_json",
+    "rule_catalogue",
+    "rule_names",
+    "run_checks",
+    "write_baseline",
+]

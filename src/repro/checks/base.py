@@ -1,0 +1,160 @@
+"""Checker registry and the violation/rule value types.
+
+Mirrors the other registries in this codebase (:mod:`repro.registry`,
+:mod:`repro.workloads.registry`, :mod:`repro.kernels`): each rule module
+under :mod:`repro.checks.rules` self-registers its checker instances at
+import time via :func:`register_checker`, and the engine resolves the
+active set through :func:`checkers` — adding a rule means writing one
+class and registering it once; the CLI (``repro check --list``), the
+waiver validator and the test fixtures all pick it up from this table.
+
+Two checker shapes exist:
+
+* :class:`FileChecker` — sees one parsed source file at a time (an
+  :class:`~repro.checks.engine.SourceFile`), yields ``(line, message)``
+  pairs. ``select`` scopes the rule to path prefixes inside the package
+  (e.g. hot-path purity only looks under ``kernels/``).
+* :class:`ProjectChecker` — sees the whole scanned tree at once (a
+  :class:`~repro.checks.engine.Project`), for cross-file contracts:
+  kernel-registry consistency, parity-suite coverage, the schema-freeze
+  baseline. Yields ``(pkg_rel_path, line, message)`` triples.
+
+Checkers are *static*: they read source text and ASTs, never import the
+code under analysis — ``repro check`` must be safe to run on a broken
+tree (that is its job).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.errors import InvalidParameterError
+
+#: Rule families, one per enforced contract class (see DESIGN.md).
+CHECK_FAMILIES = (
+    "determinism",
+    "registry",
+    "purity",
+    "exceptions",
+    "schema",
+    "fork-safety",
+    "meta",
+)
+
+
+@dataclass(frozen=True)
+class CheckRule:
+    """Identity and documentation of one rule."""
+
+    name: str
+    family: str
+    summary: str
+
+
+@dataclass
+class Violation:
+    """One finding: ``rule`` fired at ``path:line``.
+
+    ``path`` is root-relative POSIX (``src/repro/kernels/greedy.py``) so
+    reports are portable across checkouts. ``waived`` findings are
+    suppressed from the exit code but kept in the report — a waiver is an
+    acknowledged exception, not an invisible one.
+    """
+
+    rule: str
+    family: str
+    path: str
+    line: int
+    message: str
+    waived: bool = False
+    rationale: Optional[str] = None
+
+    def describe(self) -> str:
+        mark = " (waived)" if self.waived else ""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}{mark}"
+
+
+class FileChecker:
+    """Base for per-file rules. Subclasses set ``rule`` and implement
+    ``check``; override ``select`` to scope by package-relative path."""
+
+    rule: CheckRule
+
+    def select(self, file) -> bool:
+        return True
+
+    def check(self, file) -> Iterator[Tuple[int, str]]:
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """Base for cross-file rules. ``check`` sees the whole project."""
+
+    rule: CheckRule
+
+    def check(self, project) -> Iterator[Tuple[str, int, str]]:
+        raise NotImplementedError
+
+
+Checker = Union[FileChecker, ProjectChecker]
+
+_CHECKERS: Dict[str, Checker] = {}
+_LOADED = False
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: instantiate and register one checker per rule.
+    Duplicate rule names are an error unless it is the same class
+    re-imported (idempotent re-registration, same contract as the
+    algorithm registry)."""
+    checker = cls()
+    rule = checker.rule
+    if rule.family not in CHECK_FAMILIES:
+        raise InvalidParameterError(
+            f"check rule {rule.name!r}: unknown family {rule.family!r}"
+        )
+    existing = _CHECKERS.get(rule.name)
+    if existing is not None and type(existing) is not cls:
+        raise InvalidParameterError(f"check rule {rule.name!r} registered twice")
+    _CHECKERS[rule.name] = checker
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # repro-check: ok fork-global-write — idempotent lazy-load latch, safe to re-run after fork
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    importlib.import_module("repro.checks.rules")
+
+
+def checkers(rules: Optional[List[str]] = None) -> List[Checker]:
+    """The active checker set, sorted by rule name; ``rules`` filters by
+    exact rule name and rejects unknown names eagerly."""
+    _ensure_loaded()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(_CHECKERS))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown check rule(s) {unknown}; "
+                f"registered: {', '.join(sorted(_CHECKERS))}"
+            )
+        selected = {name: _CHECKERS[name] for name in rules}
+    else:
+        selected = _CHECKERS
+    return [selected[name] for name in sorted(selected)]
+
+
+def rule_names() -> List[str]:
+    """Sorted names of every registered rule."""
+    _ensure_loaded()
+    return sorted(_CHECKERS)
+
+
+def rules() -> List[CheckRule]:
+    """Every registered rule's metadata, sorted by name."""
+    _ensure_loaded()
+    return [_CHECKERS[name].rule for name in sorted(_CHECKERS)]

@@ -1,0 +1,154 @@
+"""The schema-freeze baseline: checked-in fingerprints of every frozen
+schema surface, compared purely statically.
+
+Three surfaces make resumed campaigns, stored runs and traces
+byte-comparable across sessions; all three are frozen here:
+
+* **store** — ``STABLE_COLUMNS`` + ``SCHEMA_VERSION``
+  (``src/repro/store/store.py``): the deterministic column set that
+  resume/diff comparisons and ``query --format json`` emit.
+* **trace_event** — ``EVENT_SCHEMA_VERSION`` + the required/optional
+  field sets and event kinds (``src/repro/obs/schema.py``).
+* **metrics** — ``METRICS_VERSION`` (``src/repro/analysis/campaign.py``):
+  the per-cell observability blob stamp.
+
+``schema_baseline.json`` (checked in next to this module) records each
+surface's version and a sha256 fingerprint of its shape, extracted from
+the *source AST* — the rule runs without importing the tree, so a
+schema-breaking edit is caught even when it also breaks imports. Any
+drift from the baseline is a violation: same version + changed shape
+means "bump the version"; bumped version means "regenerate the baseline"
+(``repro check --update-baseline``) so the bump is an explicit, reviewed
+act rather than a side effect.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckError
+
+BASELINE_NAME = "schema_baseline.json"
+
+#: surface name -> (package-relative source file, version constant,
+#: shape constants fingerprinted alongside it)
+SCHEMA_SURFACES = {
+    "store": ("store/store.py", "SCHEMA_VERSION", ("STABLE_COLUMNS",)),
+    "trace_event": (
+        "obs/schema.py",
+        "EVENT_SCHEMA_VERSION",
+        ("_REQUIRED", "_OPTIONAL", "EVENT_KINDS"),
+    ),
+    "metrics": ("analysis/campaign.py", "METRICS_VERSION", ()),
+}
+
+
+def baseline_path(root: Path) -> Path:
+    return Path(root) / "src" / "repro" / "checks" / BASELINE_NAME
+
+
+def module_constants(tree: ast.Module, names: List[str]) -> Dict[str, Any]:
+    """Literal values of module-level assignments to ``names`` (tuples,
+    strings, ints — anything :func:`ast.literal_eval` accepts), with the
+    assignment line recorded under ``"<name>__line"``."""
+    wanted = set(names)
+    out: Dict[str, Any] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in wanted:
+                try:
+                    out[target.id] = ast.literal_eval(value)
+                except ValueError:
+                    continue  # non-literal assignment to a tracked name
+                out[target.id + "__line"] = node.lineno
+    return out
+
+
+def fingerprint(value: Any) -> str:
+    """sha256 of the canonical-JSON shape of ``value``."""
+    payload = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def extract_schema_facts(project) -> Dict[str, Dict[str, Any]]:
+    """Version + shape fingerprint of every schema surface present in the
+    scanned tree (absent source files are simply omitted — mini-trees in
+    tests scan a handful of planted files)."""
+    facts: Dict[str, Dict[str, Any]] = {}
+    for surface, (pkg_rel, version_name, shape_names) in sorted(
+        SCHEMA_SURFACES.items()
+    ):
+        file = project.file(pkg_rel)
+        if file is None:
+            continue
+        constants = module_constants(
+            file.tree, [version_name, *shape_names]
+        )
+        if version_name not in constants:
+            continue
+        shape = {name: _as_jsonable(constants.get(name)) for name in shape_names}
+        facts[surface] = {
+            "path": pkg_rel,
+            "version": constants[version_name],
+            "version_line": constants[version_name + "__line"],
+            "fingerprint": fingerprint(shape) if shape_names else None,
+            "shape_lines": {
+                name: constants.get(name + "__line")
+                for name in shape_names
+                if name + "__line" in constants
+            },
+        }
+    return facts
+
+
+def _as_jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_as_jsonable(v) for v in value]
+    return value
+
+
+def load_baseline(root: Path) -> Optional[Dict[str, Any]]:
+    path = baseline_path(root)
+    if not path.is_file():
+        return None
+    try:
+        decoded = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CheckError(f"corrupt schema baseline at {path}: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise CheckError(f"corrupt schema baseline at {path}: not an object")
+    return decoded
+
+
+def write_baseline(root: Optional[Path] = None) -> Path:
+    """Regenerate ``schema_baseline.json`` from the tree at ``root`` —
+    the explicit act that accompanies a deliberate schema change."""
+    from repro.checks.engine import load_project
+
+    project = load_project(root)
+    facts = extract_schema_facts(project)
+    if not facts:
+        raise CheckError(
+            "no schema surfaces found under "
+            f"{project.package_dir} — refusing to write an empty baseline"
+        )
+    payload = {
+        surface: {"version": entry["version"], "fingerprint": entry["fingerprint"]}
+        for surface, entry in sorted(facts.items())
+    }
+    path = baseline_path(project.root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,317 @@
+"""Discovery, parsing and dispatch for ``repro check``.
+
+One pass over the tree: every ``*.py`` under ``<root>/src/repro`` is
+read and parsed exactly once into a :class:`SourceFile` (text, line
+table, AST, waivers); per-file checkers run against each file they
+select, project checkers run once against the whole :class:`Project`.
+Waivers are applied centrally — checkers only *find*, they never decide
+suppression — and malformed waiver comments surface through the
+``waiver-syntax`` rule so a typo cannot silently disable enforcement.
+
+The scan is purely syntactic: nothing under analysis is imported, so the
+pass is safe on trees that would crash at import time (that is the point
+of running it before pytest in CI) and on planted-violation copies.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.checks.base import (
+    CheckRule,
+    FileChecker,
+    ProjectChecker,
+    Violation,
+    checkers as _checkers,
+)
+from repro.checks.waivers import WaiverSet, parse_waivers
+from repro.errors import CheckError
+
+#: Version stamp of the ``--json`` report shape. Bump when it changes;
+#: the report is consumed by CI greps and the fixture tests.
+REPORT_VERSION = 1
+
+#: The ``waiver-syntax`` rule is owned by the engine (waiver parsing is
+#: engine infrastructure, not a rules module) but registered like any
+#: other rule so ``--list``/``--rule`` treat it uniformly.
+WAIVER_SYNTAX_RULE = CheckRule(
+    name="waiver-syntax",
+    family="meta",
+    summary="waiver comments must parse and carry a rationale: "
+    "'# repro-check: ok <rule> — rationale' (or 'file ok'); the named "
+    "rule must exist",
+)
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its waivers."""
+
+    path: Path  #: absolute
+    rel: str  #: root-relative POSIX path (``src/repro/kernels/greedy.py``)
+    pkg_rel: str  #: package-relative POSIX path (``kernels/greedy.py``)
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    waivers: WaiverSet
+
+
+@dataclass
+class Project:
+    """The scanned tree, as project checkers see it."""
+
+    root: Path
+    package_dir: Path
+    files: List[SourceFile]
+    _by_pkg_rel: Dict[str, SourceFile] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_pkg_rel = {f.pkg_rel: f for f in self.files}
+
+    def file(self, pkg_rel: str) -> Optional[SourceFile]:
+        """The scanned file at package-relative ``pkg_rel``, if present
+        (mini-trees in tests legitimately omit most of the package)."""
+        return self._by_pkg_rel.get(pkg_rel)
+
+    def read_outside(self, rel: str) -> Optional[str]:
+        """Text of a root-relative file *outside* the scanned package
+        (e.g. a test module a coverage contract points at), or None."""
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` invocation produced."""
+
+    root: str
+    files: int
+    rules: List[str]
+    violations: List[Violation]
+    elapsed_ms: float
+
+    @property
+    def fired(self) -> int:
+        """Unwaived findings — what the exit code is keyed on."""
+        return sum(1 for v in self.violations if not v.waived)
+
+    @property
+    def waived(self) -> int:
+        return sum(1 for v in self.violations if v.waived)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "v": REPORT_VERSION,
+            "root": self.root,
+            "files": self.files,
+            "rules": list(self.rules),
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "family": v.family,
+                    "path": v.path,
+                    "line": v.line,
+                    "message": v.message,
+                    "waived": v.waived,
+                    "rationale": v.rationale,
+                }
+                for v in self.violations
+            ],
+            "summary": {
+                "fired": self.fired,
+                "waived": self.waived,
+                "elapsed_ms": round(self.elapsed_ms, 3),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [v.describe() for v in self.violations]
+        lines.append(
+            f"repro check: {self.files} files, {len(self.rules)} rules, "
+            f"{self.fired} violation(s), {self.waived} waived, "
+            f"{self.elapsed_ms / 1000:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def detect_root() -> Path:
+    """The repository root, derived from the installed package location
+    (``src/repro/__init__.py`` -> two parents up). Editable installs and
+    ``PYTHONPATH=src`` both land here; a site-packages install has no
+    scannable tree and must pass ``--root`` explicitly."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def _discover(package_dir: Path) -> List[Path]:
+    return sorted(
+        p
+        for p in package_dir.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def _load(root: Path, package_dir: Path, path: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise CheckError(
+            f"cannot parse {path.relative_to(root).as_posix()}:"
+            f"{exc.lineno}: {exc.msg}"
+        ) from exc
+    lines = text.splitlines()
+    return SourceFile(
+        path=path,
+        rel=path.relative_to(root).as_posix(),
+        pkg_rel=path.relative_to(package_dir).as_posix(),
+        text=text,
+        lines=lines,
+        tree=tree,
+        waivers=parse_waivers(text),
+    )
+
+
+def load_project(root: Optional[Path] = None) -> Project:
+    """Discover and parse the tree under ``root`` (default: the repo the
+    running package was imported from)."""
+    root = Path(root).resolve() if root is not None else detect_root()
+    package_dir = root / "src" / "repro"
+    if not package_dir.is_dir():
+        raise CheckError(
+            f"no scannable package at {package_dir} "
+            "(pass --root pointing at a checkout with src/repro/)"
+        )
+    files = [_load(root, package_dir, p) for p in _discover(package_dir)]
+    return Project(root=root, package_dir=package_dir, files=files)
+
+
+def _apply_waivers(project: Project, raw: Iterable[Violation]) -> List[Violation]:
+    """Mark findings covered by a waiver; order deterministically."""
+    out: List[Violation] = []
+    by_rel = {f.rel: f for f in project.files}
+    for violation in raw:
+        file = by_rel.get(violation.path)
+        if file is not None:
+            waiver = file.waivers.covering(violation.rule, violation.line)
+            if waiver is not None:
+                violation.waived = True
+                violation.rationale = waiver.rationale
+        out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+    return out
+
+
+def _waiver_syntax_violations(
+    project: Project, known_rules: List[str]
+) -> List[Violation]:
+    found: List[Violation] = []
+    known = set(known_rules)
+    for file in project.files:
+        for line, message in file.waivers.problems:
+            found.append(
+                Violation(
+                    rule=WAIVER_SYNTAX_RULE.name,
+                    family=WAIVER_SYNTAX_RULE.family,
+                    path=file.rel,
+                    line=line,
+                    message=message,
+                )
+            )
+        for waiver in file.waivers.waivers:
+            if waiver.rule not in known:
+                found.append(
+                    Violation(
+                        rule=WAIVER_SYNTAX_RULE.name,
+                        family=WAIVER_SYNTAX_RULE.family,
+                        path=file.rel,
+                        line=waiver.line,
+                        message=f"waiver names unknown rule {waiver.rule!r} "
+                        "(see `repro check --list`)",
+                    )
+                )
+    return found
+
+
+def run_checks(
+    root: Optional[Path] = None,
+    rules: Optional[List[str]] = None,
+) -> CheckReport:
+    """Run the (optionally filtered) rule set over the tree at ``root``
+    and return the full report. Raises :class:`~repro.errors.CheckError`
+    when the tree cannot be scanned at all."""
+    started = time.perf_counter()
+    project = load_project(root)
+    # waiver-syntax is engine-owned, so lift it out of the filter before
+    # resolving the registry-backed checkers.
+    requested = list(rules) if rules is not None else None
+    include_waiver_rule = requested is None or WAIVER_SYNTAX_RULE.name in requested
+    if requested is not None:
+        requested = [r for r in requested if r != WAIVER_SYNTAX_RULE.name]
+    selected = _checkers(requested)
+    # waiver-syntax validates against the *full* catalogue even when the
+    # run is rule-filtered — a waiver naming a rule that exists but is
+    # filtered out today must not read as "unknown".
+    from repro.checks.base import rule_names
+
+    all_rules = rule_names() + [WAIVER_SYNTAX_RULE.name]
+
+    raw: List[Violation] = []
+    for checker in selected:
+        rule = checker.rule
+        if isinstance(checker, ProjectChecker):
+            for pkg_rel, line, message in checker.check(project):
+                file = project.file(pkg_rel)
+                rel = file.rel if file is not None else (
+                    (Path("src") / "repro" / pkg_rel).as_posix()
+                )
+                raw.append(
+                    Violation(
+                        rule=rule.name,
+                        family=rule.family,
+                        path=rel,
+                        line=line,
+                        message=message,
+                    )
+                )
+        else:
+            assert isinstance(checker, FileChecker)
+            for file in project.files:
+                if not checker.select(file):
+                    continue
+                for line, message in checker.check(file):
+                    raw.append(
+                        Violation(
+                            rule=rule.name,
+                            family=rule.family,
+                            path=file.rel,
+                            line=line,
+                            message=message,
+                        )
+                    )
+
+    selected_names = sorted(c.rule.name for c in selected)
+    if include_waiver_rule:
+        raw.extend(_waiver_syntax_violations(project, all_rules))
+        selected_names = sorted(selected_names + [WAIVER_SYNTAX_RULE.name])
+
+    violations = _apply_waivers(project, raw)
+    return CheckReport(
+        root=str(project.root),
+        files=len(project.files),
+        rules=selected_names,
+        violations=violations,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+    )
+
+
+def render_json(report: CheckReport) -> str:
+    return json.dumps(report.to_json(), indent=1, sort_keys=True)

@@ -1,0 +1,28 @@
+"""Built-in checker families.
+
+Importing this package registers every built-in checker with
+:mod:`repro.checks.base`. Modules are imported in a fixed, explicit
+order so the registry's contents never depend on filesystem listing
+order — the same discipline ``det-set-iteration`` enforces on the
+algorithm registries.
+"""
+
+from __future__ import annotations
+
+from repro.checks.rules import (  # noqa: F401  (imported for registration side effects)
+    determinism,
+    exceptions,
+    fork_safety,
+    purity,
+    registry_contracts,
+    schema_freeze,
+)
+
+__all__ = [
+    "determinism",
+    "exceptions",
+    "fork_safety",
+    "purity",
+    "registry_contracts",
+    "schema_freeze",
+]

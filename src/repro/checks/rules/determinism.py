@@ -1,0 +1,217 @@
+"""Determinism rules: the properties that make run keys content-addressed.
+
+Every stored row is keyed by sha256 of (algorithm, params, workload
+instance, seed, engine, code version); bit-for-bit reproducibility dies
+the moment any run-path value depends on interpreter state, wall clock
+or OS entropy. These rules reject the three classic leaks at parse time:
+
+* ``det-unseeded-rng`` — module-state RNG (``random.random()``,
+  ``np.random.rand()``, ``np.random.seed()``…) anywhere in the package.
+  All randomness must flow through an explicitly seeded generator object
+  (``random.Random(seed)``, ``np.random.default_rng(seed)``,
+  ``np.random.Generator(np.random.PCG64(seed))``) so a seed pins the
+  stream and concurrent cells cannot share hidden state.
+* ``det-set-iteration`` — iterating a ``set``/``frozenset`` in the
+  algorithm/kernel/baseline packages. Set iteration order depends on
+  insertion history and hash randomization; feeding it into outputs or
+  registration order is exactly the class of bug fixed in
+  ``kernels/__init__`` (lazy registration iterated
+  ``set(_KERNEL_MODULES.values())``). Wrap in ``sorted(...)`` or iterate
+  an insertion-ordered dict instead; membership tests on sets are fine.
+* ``det-wallclock`` — wall-clock or entropy reads (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``…) in run-path
+  packages. Monotonic duration probes (``time.perf_counter``,
+  ``time.monotonic``) stay legal: they feed observability, never
+  results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.checks.base import CheckRule, FileChecker, register_checker
+
+#: ``random`` module-state functions (the hidden global Mersenne
+#: Twister). ``random.Random``/``SystemRandom`` construct objects and are
+#: deliberately absent.
+_RANDOM_STATE = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "seed", "getrandbits", "randbytes", "gauss",
+        "normalvariate", "lognormvariate", "expovariate", "betavariate",
+        "gammavariate", "triangular", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "binomialvariate", "getstate", "setstate",
+    }
+)
+
+#: ``numpy.random`` module-state functions (the legacy global
+#: ``RandomState``). Constructors (``default_rng``, ``Generator``,
+#: ``PCG64``, ``RandomState``, ``SeedSequence``) are deliberately absent.
+_NP_RANDOM_STATE = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "random_integers", "ranf", "sample", "choice", "shuffle",
+        "permutation", "bytes", "uniform", "normal", "standard_normal",
+        "poisson", "binomial", "exponential", "beta", "gamma", "laplace",
+        "lognormal", "multinomial", "get_state", "set_state",
+    }
+)
+
+#: Directories whose code executes inside a simulated run (graph build,
+#: round execution, output assembly) — the paths a wall-clock read could
+#: leak into a stored result from.
+RUN_PATH_DIRS = (
+    "core/", "substrates/", "baselines/", "kernels/", "engine/",
+    "local/", "graphs/", "graphcore/", "workloads/",
+)
+
+#: Directories where iteration order reaches outputs or registration
+#: order (the scope the tentpole names for ``det-set-iteration``).
+ORDER_SENSITIVE_DIRS = ("substrates/", "kernels/", "baselines/")
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+
+
+def _dotted(node: ast.expr) -> Tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty tuple for anything fancier."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@register_checker
+class UnseededRng(FileChecker):
+    rule = CheckRule(
+        name="det-unseeded-rng",
+        family="determinism",
+        summary="no module-state RNG (random.*, np.random.*): all "
+        "randomness flows through an explicitly seeded generator object",
+    )
+
+    def check(self, file) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if len(chain) == 2 and chain[0] == "random" and chain[1] in _RANDOM_STATE:
+                    yield node.lineno, (
+                        f"module-state RNG call random.{chain[1]}() — use an "
+                        "explicitly seeded random.Random(seed) instance"
+                    )
+                elif (
+                    len(chain) == 3
+                    and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                    and chain[2] in _NP_RANDOM_STATE
+                ):
+                    yield node.lineno, (
+                        f"module-state RNG call {chain[0]}.random.{chain[2]}() "
+                        "— use np.random.default_rng(seed)"
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    banned = sorted(
+                        a.name for a in node.names if a.name in _RANDOM_STATE
+                    )
+                elif node.module == "numpy.random":
+                    banned = sorted(
+                        a.name for a in node.names if a.name in _NP_RANDOM_STATE
+                    )
+                else:
+                    banned = []
+                if banned:
+                    yield node.lineno, (
+                        f"imports module-state RNG function(s) {banned} from "
+                        f"{node.module} — import a seeded generator type instead"
+                    )
+
+
+@register_checker
+class SetIteration(FileChecker):
+    rule = CheckRule(
+        name="det-set-iteration",
+        family="determinism",
+        summary="no iteration over set/frozenset in substrates/, "
+        "kernels/, baselines/ (insertion-history-dependent order); "
+        "wrap in sorted() or iterate an ordered dict",
+    )
+
+    def select(self, file) -> bool:
+        return file.pkg_rel.startswith(ORDER_SENSITIVE_DIRS)
+
+    def check(self, file) -> Iterator[Tuple[int, str]]:
+        iters = []
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if isinstance(it, (ast.Set, ast.SetComp)):
+                yield it.lineno, (
+                    "iterates a set literal/comprehension — order is "
+                    "insertion-history-dependent; sort it or use a tuple"
+                )
+            elif (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id in ("set", "frozenset")
+            ):
+                yield it.lineno, (
+                    f"iterates {it.func.id}(...) directly — order is "
+                    "insertion-history-dependent; wrap in sorted(...) or "
+                    "dedupe with dict.fromkeys(...) to keep insertion order"
+                )
+
+
+@register_checker
+class WallClock(FileChecker):
+    rule = CheckRule(
+        name="det-wallclock",
+        family="determinism",
+        summary="no wall-clock/entropy reads (time.time, datetime.now, "
+        "os.urandom, uuid.uuid4) in run-path packages; monotonic "
+        "duration probes are allowed",
+    )
+
+    def select(self, file) -> bool:
+        return file.pkg_rel.startswith(RUN_PATH_DIRS)
+
+    def check(self, file) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALLCLOCK_CALLS:
+                    yield node.lineno, (
+                        f"wall-clock/entropy call {'.'.join(chain)}() in a "
+                        "run path — results must be a pure function of "
+                        "(input, seed, code version)"
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                banned = sorted(
+                    a.name
+                    for a in node.names
+                    if (node.module, a.name) in _WALLCLOCK_CALLS
+                )
+                if banned:
+                    yield node.lineno, (
+                        f"imports wall-clock/entropy function(s) {banned} "
+                        f"from {node.module} in a run path"
+                    )

@@ -1,0 +1,77 @@
+"""Exception-hygiene rule: broad handlers carry their justification.
+
+The codebase's standing convention (PRs 2-7) is that every ``except
+Exception`` states why swallowing everything is correct *on the same
+line*::
+
+    except Exception as exc:  # noqa: BLE001 - per-cell isolation is the contract
+
+That convention was enforced by review only; ``exc-blind-except`` makes
+it mechanical. Bare ``except:`` and ``except BaseException`` get the
+same treatment (they additionally swallow ``KeyboardInterrupt`` /
+``SystemExit``, so the bar for a rationale is higher, not lower).
+
+This rule deliberately reuses the existing ``# noqa: BLE001 - <why>``
+marker rather than the waiver syntax: the sites predate the checker, the
+marker is what external linters expect, and the rationale text is the
+part that matters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from repro.checks.base import CheckRule, FileChecker, register_checker
+
+#: ``# noqa: BLE001`` followed by a dash and a non-empty rationale.
+_RATIONALE_RE = re.compile(r"#\s*noqa:\s*BLE001\s*[-–—]\s*\S")
+_BARE_NOQA_RE = re.compile(r"#\s*noqa:\s*BLE001\b")
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(type_node) -> bool:
+    if type_node is None:
+        return True  # bare except:
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in _BROAD
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    return False
+
+
+@register_checker
+class BlindExcept(FileChecker):
+    rule = CheckRule(
+        name="exc-blind-except",
+        family="exceptions",
+        summary="broad handlers (bare except / except Exception / "
+        "BaseException) need '# noqa: BLE001 - <rationale>' on the "
+        "except line",
+    )
+
+    def check(self, file) -> Iterator[Tuple[int, str]]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            text = file.lines[node.lineno - 1] if node.lineno <= len(file.lines) else ""
+            if _RATIONALE_RE.search(text):
+                continue
+            what = "bare except:" if node.type is None else "except Exception"
+            if _BARE_NOQA_RE.search(text):
+                yield node.lineno, (
+                    f"{what} has '# noqa: BLE001' but no rationale — append "
+                    "'- <why swallowing everything is correct here>'"
+                )
+            else:
+                yield node.lineno, (
+                    f"{what} without '# noqa: BLE001 - <rationale>' — name "
+                    "the reason this handler may swallow everything, or "
+                    "narrow the exception type"
+                )

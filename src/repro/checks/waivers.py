@@ -1,0 +1,153 @@
+"""The per-line waiver system: ``# repro-check: ok <rule> — rationale``.
+
+A waiver acknowledges one specific finding and records *why* it is
+acceptable; the rationale is mandatory — a waiver without one is itself
+a violation (rule ``waiver-syntax``). Three placements:
+
+* **Same line** — appended to the offending line::
+
+      for module in risky_thing():  # repro-check: ok det-set-iteration — membership only
+
+* **Preceding line** — a standalone comment directly above the offending
+  line (for lines already at the length budget)::
+
+      # repro-check: ok fork-global-write — idempotent lazy-load latch
+      global _LOADED
+
+* **File level** — ``file ok`` anywhere in the file waives the rule for
+  the whole file (for modules where the exception *is* the design, e.g.
+  the sequential greedy sweep kernels)::
+
+      # repro-check: file ok pure-kernel-node-loop — sequential first-fit sweep
+
+Both the em dash and a plain ``-`` separate rule from rationale. Waived
+findings stay in the report (marked, with the rationale) and are excluded
+from the exit code.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Any comment claiming to be a waiver — parsed strictly afterwards so a
+#: typo'd waiver surfaces as a finding instead of silently not waiving.
+_MARKER_RE = re.compile(r"#\s*repro-check:(?P<body>.*)$")
+
+_WAIVER_RE = re.compile(
+    r"^\s*(?P<scope>file\s+ok|ok)\s+"
+    r"(?P<rule>[a-z0-9][a-z0-9-]*)\s*"
+    r"(?:[-–—]\s*(?P<rationale>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    rule: str
+    line: int  #: the line the waiver *applies to* (not where it sits)
+    file_level: bool
+    rationale: str
+
+
+class WaiverSet:
+    """All waivers of one file, indexed for the engine's suppression
+    pass. ``problems`` holds malformed waiver comments as ``(line,
+    message)`` pairs for the ``waiver-syntax`` rule."""
+
+    def __init__(self, waivers: Sequence[Waiver], problems: Sequence[Tuple[int, str]]):
+        self._by_line: Dict[Tuple[str, int], Waiver] = {
+            (w.rule, w.line): w for w in waivers if not w.file_level
+        }
+        self._file_level: Dict[str, Waiver] = {
+            w.rule: w for w in waivers if w.file_level
+        }
+        self.waivers: List[Waiver] = list(waivers)
+        self.problems: List[Tuple[int, str]] = list(problems)
+
+    def covering(self, rule: str, line: int) -> Optional[Waiver]:
+        """The waiver suppressing ``rule`` at ``line``, if any."""
+        waiver = self._by_line.get((rule, line))
+        if waiver is not None:
+            return waiver
+        return self._file_level.get(rule)
+
+
+def _comment_tokens(text: str) -> List[Tuple[int, str, bool]]:
+    """``(lineno, comment_text, standalone)`` for every comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) is what lets
+    documentation *mention* the waiver syntax inside docstrings and
+    string literals without tripping ``waiver-syntax`` — only actual
+    ``#`` comments count.
+    """
+    out: List[Tuple[int, str, bool]] = []
+    for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+        if tok.type == tokenize.COMMENT:
+            standalone = not tok.line[: tok.start[1]].strip()
+            out.append((tok.start[0], tok.string, standalone))
+    return out
+
+
+def parse_waivers(text: str) -> WaiverSet:
+    """Scan source ``text`` for waiver comments.
+
+    A waiver written on a comment-only line binds to the statement it
+    precedes (the next line that is not blank or comment-only, so the
+    rationale may wrap onto continuation comment lines); one appended to
+    code binds to its own line.
+    """
+    lines = text.splitlines()
+
+    def _next_statement_line(after: int) -> int:
+        for lineno in range(after + 1, len(lines) + 1):
+            stripped = lines[lineno - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                return lineno
+        return after + 1
+
+    waivers: List[Waiver] = []
+    problems: List[Tuple[int, str]] = []
+    for lineno, comment, standalone in _comment_tokens(text):
+        marker = _MARKER_RE.search(comment)
+        if marker is None:
+            continue
+        parsed = _WAIVER_RE.match(marker.group("body"))
+        if parsed is None:
+            problems.append(
+                (
+                    lineno,
+                    "malformed waiver (expected "
+                    "'# repro-check: ok <rule> — rationale' or "
+                    "'# repro-check: file ok <rule> — rationale')",
+                )
+            )
+            continue
+        rationale = parsed.group("rationale")
+        if not rationale:
+            problems.append(
+                (
+                    lineno,
+                    f"waiver for {parsed.group('rule')!r} has no rationale "
+                    "(append '— why this is acceptable')",
+                )
+            )
+            continue
+        file_level = parsed.group("scope").startswith("file")
+        waivers.append(
+            Waiver(
+                rule=parsed.group("rule"),
+                line=(
+                    lineno
+                    if (file_level or not standalone)
+                    else _next_statement_line(lineno)
+                ),
+                file_level=file_level,
+                rationale=rationale,
+            )
+        )
+    return WaiverSet(waivers, problems)

@@ -809,6 +809,36 @@ def cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the project-native static-analysis pass (see repro.checks)."""
+    from pathlib import Path
+
+    from repro import checks
+
+    root = Path(args.root) if args.root else None
+
+    if args.list:
+        catalogue = {r.name: r for r in checks.rule_catalogue()}
+        catalogue[checks.engine.WAIVER_SYNTAX_RULE.name] = (
+            checks.engine.WAIVER_SYNTAX_RULE
+        )
+        for name in sorted(catalogue):
+            rule = catalogue[name]
+            print(f"{name}  [{rule.family}]\n    {rule.summary}")
+        return 0
+
+    if args.update_baseline:
+        path = checks.write_baseline(root)
+        print(f"wrote {path}")
+
+    report = checks.run_checks(root=root, rules=args.rule or None)
+    if args.json:
+        print(checks.render_json(report))
+    else:
+        print(report.render())
+    return 1 if report.fired else 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Re-verify persisted store rows and/or run differential
     cross-engine checks."""
@@ -1372,6 +1402,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=cmd_verify)
+
+    check = sub.add_parser(
+        "check",
+        help="static-analysis pass: determinism, registry contracts, "
+        "hot-path purity, exception hygiene, schema freeze, fork safety",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable; see --list)",
+    )
+    check.add_argument(
+        "--list", action="store_true", help="list the rule catalogue and exit"
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        help="checkout to scan (default: the repo this package runs from)",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="refresh checks/schema_baseline.json from the current tree "
+        "before checking (commit the result together with the version bump)",
+    )
+    check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -156,6 +156,8 @@ def record_engine_runs() -> Iterator[List[str]]:
 
 def set_default_engine(name: str) -> None:
     """Set the process-wide default engine (validated eagerly)."""
+    # repro-check: ok fork-global-write — deliberately process-wide: a config
+    # knob set once at startup; workers inherit the pre-fork value by design
     global _default_engine
     get_engine(name)
     _default_engine = name

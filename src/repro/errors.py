@@ -39,6 +39,12 @@ class CliqueCoverError(ReproError):
     """A clique cover is inconsistent with the graph it annotates."""
 
 
+class CheckError(ReproError):
+    """The static-analysis pass could not run (unscannable tree, syntax
+    error in a scanned file, missing/corrupt schema baseline). Distinct
+    from a rule *firing* — findings are data, this is a failure."""
+
+
 class PerformanceWarning(UserWarning):
     """A supported-but-slow path was taken (e.g. a CompactGraph converted
     to networkx for a non-``compact_ok`` algorithm). Results are correct;

@@ -101,6 +101,6 @@ def kernel_names() -> list:
     """Sorted names of all algorithms with a registered kernel (forces
     the lazy imports — this is the introspection surface, not the hot
     path)."""
-    for module in set(_KERNEL_MODULES.values()):
+    for module in sorted(set(_KERNEL_MODULES.values())):
         importlib.import_module(module)
     return sorted(_KERNELS)

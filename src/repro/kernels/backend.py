@@ -34,6 +34,8 @@ def _flag() -> str:
 
 def numba_available() -> bool:
     """Whether numba can be imported at all (cached after first probe)."""
+    # repro-check: ok fork-global-write — idempotent import-probe cache; any
+    # process recomputes the same answer, so post-fork divergence is impossible
     global _numba, _numba_checked
     if not _numba_checked:
         _numba_checked = True
@@ -41,7 +43,7 @@ def numba_available() -> bool:
             import numba  # type: ignore
 
             _numba = numba
-        except Exception:
+        except Exception:  # noqa: BLE001 - a broken numba install must mean "unavailable", not a crash
             _numba = None
     return _numba is not None
 

@@ -16,6 +16,11 @@ insertion order.
 
 from __future__ import annotations
 
+# repro-check: file ok pure-kernel-node-loop — greedy first-fit is inherently
+# sequential (each pick depends on every earlier pick); the sweep loops here
+# are the algorithm, JIT-compiled via numba when available, not accidental
+# per-node dispatch
+
 from typing import Any, Dict, Tuple
 
 import numpy as np

@@ -249,6 +249,8 @@ def collect(trace_path: Optional[str] = None,
     this call opened is closed. Reentrant: nested collects shadow, they
     do not merge — the outer scope resumes untouched.
     """
+    # repro-check: ok fork-global-write — per-process runtime by design:
+    # workers open their own sinks; events carry pid so streams interleave
     global _RUNTIME
     sink = trace
     owned = False

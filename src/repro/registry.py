@@ -117,6 +117,8 @@ def register(spec: AlgorithmSpec) -> AlgorithmSpec:
 
 
 def _ensure_loaded() -> None:
+    # repro-check: ok fork-global-write — idempotent lazy-load latch; re-running
+    # the imports after a fork reproduces the identical registry
     global _LOADED
     if _LOADED:
         return

@@ -121,6 +121,8 @@ def register_factory(
 
 
 def _ensure_loaded() -> None:
+    # repro-check: ok fork-global-write — idempotent lazy-load latch; re-running
+    # the import after a fork reproduces the identical registry
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return

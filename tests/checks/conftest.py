@@ -1,0 +1,31 @@
+"""Fixtures for the static-analysis suite: throwaway scannable trees.
+
+``make_project`` builds a minimal checkout (``root/src/repro/...``) from
+a ``{package_relative_path: source}`` mapping, so every rule test plants
+exactly the code shape it is about and nothing else. ``run_checks`` on
+such a mini-tree exercises the same discovery/parse/dispatch path as the
+full repo scan.
+"""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    def _make(files, outside=None):
+        root = tmp_path / "proj"
+        pkg = root / "src" / "repro"
+        pkg.mkdir(parents=True, exist_ok=True)
+        for pkg_rel, source in files.items():
+            path = pkg / pkg_rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        for rel, source in (outside or {}).items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return root
+
+    return _make

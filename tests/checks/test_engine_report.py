@@ -1,0 +1,90 @@
+"""Engine-level behavior: report shape, ordering, filtering, failure
+modes. Rule-specific behavior lives in test_rules.py."""
+
+import pytest
+
+from repro.checks import (
+    REPORT_VERSION,
+    CheckError,
+    load_project,
+    render_json,
+    run_checks,
+)
+from repro.errors import InvalidParameterError
+
+_BAD_TREE = {
+    "kernels/bad.py": """\
+    import networkx as nx
+
+
+    def f(mods):
+        for m in set(mods):
+            use(m)
+    """,
+    "analysis/bad.py": """\
+    def g():
+        try:
+            work()
+        except Exception:
+            pass
+    """,
+}
+
+
+def test_violations_sorted_deterministically(make_project):
+    root = make_project(_BAD_TREE)
+    report = run_checks(root)
+    keys = [(v.path, v.line, v.rule, v.message) for v in report.violations]
+    assert keys == sorted(keys)
+
+    def stable(payload):
+        payload["summary"].pop("elapsed_ms")
+        return payload
+
+    assert stable(run_checks(root).to_json()) == stable(report.to_json())
+
+
+def test_report_json_schema(make_project):
+    root = make_project(_BAD_TREE)
+    report = run_checks(root)
+    payload = report.to_json()
+    assert payload["v"] == REPORT_VERSION
+    assert payload["files"] == 2
+    assert set(payload["summary"]) == {"fired", "waived", "elapsed_ms"}
+    assert payload["summary"]["fired"] == report.fired > 0
+    for violation in payload["violations"]:
+        assert set(violation) == {
+            "rule", "family", "path", "line", "message", "waived", "rationale",
+        }
+    assert render_json(report)  # serializes without error
+
+
+def test_rule_filter_scopes_the_run(make_project):
+    root = make_project(_BAD_TREE)
+    report = run_checks(root, rules=["pure-kernel-networkx"])
+    assert report.rules == ["pure-kernel-networkx"]
+    assert {v.rule for v in report.violations} == {"pure-kernel-networkx"}
+
+
+def test_unknown_rule_rejected_eagerly(make_project):
+    root = make_project(_BAD_TREE)
+    with pytest.raises(InvalidParameterError, match="no-such-rule"):
+        run_checks(root, rules=["no-such-rule"])
+
+
+def test_waiver_syntax_rule_can_be_selected_alone(make_project):
+    root = make_project({"a.py": "x = 1  # repro-check: ok det-wallclock\n"})
+    report = run_checks(root, rules=["waiver-syntax"])
+    assert report.rules == ["waiver-syntax"]
+    assert [v.rule for v in report.violations] == ["waiver-syntax"]
+
+
+def test_syntax_error_in_tree_is_a_check_error(make_project):
+    root = make_project({"broken.py": "def f(:\n"})
+    with pytest.raises(CheckError, match="broken.py:1"):
+        run_checks(root)
+
+
+def test_missing_package_dir_is_a_check_error(tmp_path):
+    with pytest.raises(CheckError, match="src/repro"):
+        load_project(tmp_path / "nowhere")

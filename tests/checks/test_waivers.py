@@ -1,0 +1,95 @@
+"""Unit tests of the waiver parser (comment tokens, binding, problems)."""
+
+import textwrap
+
+from repro.checks.waivers import parse_waivers
+
+
+def _parse(source):
+    return parse_waivers(textwrap.dedent(source))
+
+
+def test_same_line_waiver_binds_to_its_own_line():
+    ws = _parse(
+        """\
+        x = 1
+        y = risky()  # repro-check: ok det-set-iteration — membership only
+        """
+    )
+    assert ws.problems == []
+    waiver = ws.covering("det-set-iteration", 2)
+    assert waiver is not None
+    assert waiver.rationale == "membership only"
+    assert ws.covering("det-set-iteration", 1) is None
+
+
+def test_preceding_line_waiver_binds_to_next_statement():
+    ws = _parse(
+        """\
+        # repro-check: ok fork-global-write — idempotent latch
+        global _LOADED
+        """
+    )
+    assert ws.problems == []
+    assert ws.covering("fork-global-write", 2) is not None
+    assert ws.covering("fork-global-write", 1) is None
+
+
+def test_preceding_waiver_skips_continuation_comments_and_blanks():
+    ws = _parse(
+        """\
+        # repro-check: ok fork-global-write — a rationale long enough that
+        # it wraps onto a second comment line
+
+        global _LOADED
+        """
+    )
+    assert ws.problems == []
+    assert ws.covering("fork-global-write", 4) is not None
+
+
+def test_file_level_waiver_covers_every_line():
+    ws = _parse(
+        """\
+        # repro-check: file ok pure-kernel-node-loop — sequential sweep
+        def f():
+            pass
+        """
+    )
+    assert ws.problems == []
+    assert ws.covering("pure-kernel-node-loop", 3) is not None
+    assert ws.covering("pure-kernel-node-loop", 400) is not None
+    assert ws.covering("det-wallclock", 3) is None
+
+
+def test_plain_dash_separator_accepted():
+    ws = _parse("x = f()  # repro-check: ok det-wallclock - bench-only timing\n")
+    assert ws.problems == []
+    assert ws.covering("det-wallclock", 1).rationale == "bench-only timing"
+
+
+def test_missing_rationale_is_a_problem_not_a_waiver():
+    ws = _parse("x = f()  # repro-check: ok det-wallclock\n")
+    assert ws.covering("det-wallclock", 1) is None
+    assert len(ws.problems) == 1
+    line, message = ws.problems[0]
+    assert line == 1
+    assert "rationale" in message
+
+
+def test_malformed_waiver_is_a_problem():
+    ws = _parse("x = 1  # repro-check: oook det-wallclock — huh\n")
+    assert ws.waivers == []
+    assert len(ws.problems) == 1
+    assert "malformed" in ws.problems[0][1]
+
+
+def test_docstring_mention_of_the_syntax_is_not_a_waiver():
+    ws = _parse(
+        '''\
+        """Docs may show '# repro-check: ok some-rule — rationale' freely."""
+        x = "and strings too:  # repro-check: file ok other-rule"
+        '''
+    )
+    assert ws.waivers == []
+    assert ws.problems == []

@@ -19,12 +19,34 @@ assert len(names) >= 20, f'registry unexpectedly small: {names}'
 print(f'{len(names)} algorithms registered')
 "
 
+echo "== repro check (static analysis, fail fast before pytest) =="
+python -m repro check
+
 echo "== tier-1 pytest =="
 python -m pytest -x -q "$@"
 
 echo "== store smoke: run, kill, resume, compare =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+echo "== check smoke: planted violation is caught with file:line =="
+# Copy the scannable tree, plant one nondeterminism bug, and require the
+# checker to fail naming exactly that file and line. Proves the CI step
+# above is load-bearing, not vacuously green.
+mkdir -p "$SMOKE_DIR/planted/src" "$SMOKE_DIR/planted/tests/engine"
+cp -r src/repro "$SMOKE_DIR/planted/src/repro"
+cp tests/engine/test_compact_parity.py "$SMOKE_DIR/planted/tests/engine/"
+PLANT_FILE="$SMOKE_DIR/planted/src/repro/substrates/linial.py"
+printf '\n\ndef _planted_nondeterminism():\n    import random\n    return random.random()\n' >> "$PLANT_FILE"
+PLANT_LINE=$(grep -c '' "$PLANT_FILE")  # the random.random() call is the last line
+if python -m repro check --root "$SMOKE_DIR/planted" > "$SMOKE_DIR/planted.out"; then
+  echo "FAIL: repro check exited 0 on a tree with a planted unseeded RNG call"; exit 1
+fi
+if ! grep -q "substrates/linial.py:$PLANT_LINE: det-unseeded-rng" "$SMOKE_DIR/planted.out"; then
+  echo "FAIL: planted violation not reported at the expected file:line; got:"
+  cat "$SMOKE_DIR/planted.out"; exit 1
+fi
+echo "check smoke: planted violation caught at substrates/linial.py:$PLANT_LINE"
 SMOKE_GRID=(--algorithms star4,star,thm52,forest,greedy
             --workloads random-regular,star-forest-stack
             --seeds 0,1,2 --jobs 2)
@@ -241,7 +263,9 @@ echo "obs smoke: trace validates, stats reports, traced store byte-identical to 
 # single-digit seconds, >= 10x kernel-vs-per-node speedup, >= 12
 # compact_ok algorithms); bench_obs gates the instrumentation layer
 # (BENCH_obs.json: disabled accessors <= 500ns/call, campaign overhead
-# <= 5%, traced campaign emits a schema-valid JSONL file).
+# <= 5%, traced campaign emits a schema-valid JSONL file); bench_checks
+# gates the static-analysis pass (BENCH_checks.json: full-repo repro
+# check <= 10s and clean).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
@@ -251,4 +275,5 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
   python benchmarks/bench_graphcore.py
   python benchmarks/bench_kernels.py
   python benchmarks/bench_obs.py
+  python benchmarks/bench_checks.py
 fi
