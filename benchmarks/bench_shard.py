@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Benchmark: sharded out-of-core execution against the in-core engine.
+
+Three gates, written to ``BENCH_shard.json`` (nonzero exit if one
+fails). Both pipelines run in fresh subprocesses so ``ru_maxrss`` means
+what it says, on the same prebuilt ``.csrg`` grid (default 1000x1000,
+~1M nodes / ~2M edges), running Linial's cover-free refinement:
+
+* **worker-rss** — the peak RSS of the hungriest shard worker must stay
+  below ``--require-rss-fraction`` (default 0.5) of the unsharded
+  process's peak. This is the point of the layer: per-worker memory is
+  bounded by the shard, not the graph.
+* **overhead** — sharded wall time (init + exchanges + finalize, with a
+  live process pool; partitioning is one-time and reported separately)
+  must stay within ``--max-overhead`` (default 4.0) of the unsharded
+  run.
+* **bit-identical** — both pipelines must produce the same output
+  fingerprint and round/message accounting. Not a tolerance: equality.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shard.py
+      (smaller/larger: --rows/--cols/--shards)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_CHILD_PRELUDE = """\
+import hashlib, json, resource, sys, time
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.graphcore import load
+from repro.local.network import run_on_graph
+from repro.substrates.linial import LinialAlgorithm
+
+graph = load({csrg!r}, mmap=True)
+extras = {{
+    "initial_coloring": {{v: v for v in range(graph.n)}},
+    "m0": graph.n,
+}}
+"""
+
+_CHILD_REPORT = """\
+outputs = np.array([run.outputs[v] for v in range(graph.n)], dtype=np.int64)
+print(json.dumps({
+    "wall_s": wall_s,
+    "rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "fingerprint": hashlib.sha256(outputs.tobytes()).hexdigest(),
+    "rounds": run.rounds,
+    "messages": run.messages,
+    **extra_report,
+}))
+"""
+
+_UNSHARDED_BODY = """\
+started = time.perf_counter()
+run = run_on_graph(graph, LinialAlgorithm(), extras=extras, engine="vector")
+wall_s = time.perf_counter() - started
+extra_report = {}
+"""
+
+_SHARDED_BODY = """\
+from repro.shard import ShardBundle, sharding
+bundle = ShardBundle.open({bundle!r})
+with sharding(graph, bundle, parent_digest=bundle.parent_digest) as scope:
+    started = time.perf_counter()
+    run = run_on_graph(graph, LinialAlgorithm(), extras=extras, engine="vector")
+    wall_s = time.perf_counter() - started
+    stats = scope.last_stats
+assert run.engine == "sharded", "benchmark run fell back to the in-core path"
+extra_report = {{
+    "worker_peak_rss_kb": stats["worker_peak_rss_kb"],
+    "rounds_executed": stats["rounds_executed"],
+}}
+"""
+
+
+def _child(script: str) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True
+    )
+    if out.returncode != 0:
+        raise RuntimeError(f"benchmark child failed:\n{out.stderr}")
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=1000)
+    parser.add_argument("--cols", type=int, default=1000)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--require-rss-fraction", type=float, default=0.5)
+    parser.add_argument("--max-overhead", type=float, default=4.0)
+    parser.add_argument("--out", default="BENCH_shard.json")
+    args = parser.parse_args()
+
+    sys.path.insert(0, _SRC)
+    from repro.graphcore import build_grid, save
+    from repro.shard import partition
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as tmp:
+        csrg = str(Path(tmp) / "grid.csrg")
+        graph = build_grid(args.rows, args.cols)
+        save(graph, csrg)
+
+        started = time.perf_counter()
+        bundle_dir = str(Path(tmp) / "bundle")
+        partition(graph, args.shards, bundle_dir)
+        partition_s = time.perf_counter() - started
+        del graph
+
+        prelude = _CHILD_PRELUDE.format(src=_SRC, csrg=csrg)
+        unsharded = _child(prelude + _UNSHARDED_BODY + _CHILD_REPORT)
+        sharded = _child(
+            prelude + _SHARDED_BODY.format(bundle=bundle_dir) + _CHILD_REPORT
+        )
+
+    rss_fraction = sharded["worker_peak_rss_kb"] / unsharded["rss_kib"]
+    overhead = sharded["wall_s"] / unsharded["wall_s"]
+    identical = all(
+        sharded[key] == unsharded[key]
+        for key in ("fingerprint", "rounds", "messages")
+    )
+    gates = {
+        "worker_rss_fraction": {
+            "required": args.require_rss_fraction,
+            "measured": rss_fraction,
+            "passed": rss_fraction <= args.require_rss_fraction,
+        },
+        "overhead": {
+            "required": args.max_overhead,
+            "measured": overhead,
+            "passed": overhead <= args.max_overhead,
+        },
+        "bit_identical": {
+            "required": True,
+            "measured": identical,
+            "passed": identical,
+        },
+    }
+    payload = {
+        "benchmark": "shard",
+        "workload": f"grid {args.rows}x{args.cols}",
+        "n": args.rows * args.cols,
+        "shards": args.shards,
+        "partition_s": partition_s,
+        "unsharded": unsharded,
+        "sharded": sharded,
+        "gates": gates,
+        "passed": all(g["passed"] for g in gates.values()),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for name, gate in gates.items():
+        flag = "ok" if gate["passed"] else "FAIL"
+        print(f"{flag:>4}  {name}: measured {gate['measured']} "
+              f"(required {gate['required']})")
+    print(f"wrote {args.out}")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -232,6 +232,12 @@ class CampaignCell:
     ``engine`` selects the execution engine for this cell alone; ``None``
     defers to the runner-wide choice. The whole cell is a plain picklable
     description so process-pool workers rebuild everything locally.
+
+    ``shards`` requests sharded out-of-core execution (see
+    :mod:`repro.shard`). It is deliberately *not* part of :meth:`key`:
+    sharded runs are bit-identical to unsharded ones, so the same run key
+    lets sharded and unsharded campaigns share cache rows and lets CI
+    byte-compare their stores.
     """
 
     algorithm: str
@@ -240,6 +246,7 @@ class CampaignCell:
     seed: int = 0
     algo_params: Mapping[str, Any] = field(default_factory=dict)
     engine: Optional[str] = None
+    shards: Optional[int] = None
 
     def key(self) -> str:
         wp = ",".join(f"{k}={v}" for k, v in sorted(self.workload_params.items()))
@@ -262,8 +269,9 @@ def _row_base(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 #: Version stamp of the per-cell metrics blob (the store's ``metrics``
 #: column). Bump when the blob's shape changes; readers must tolerate
-#: older stamps.
-METRICS_VERSION = 1
+#: older stamps. v2 adds the optional ``shards`` disclosure (the shard
+#: count a cell actually executed with).
+METRICS_VERSION = 2
 
 
 def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -282,6 +290,7 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     ``REPRO_TRACE`` set (inherited by forked pool workers) the scope also
     streams span/point events to the per-run JSONL trace file.
     """
+    import contextlib
     import warnings as _warnings
 
     from repro import obs, registry
@@ -292,6 +301,7 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     build_ms: Optional[float] = None
     wall_ms: Optional[float] = None
     verify_ms: Optional[float] = None
+    shards_used: Optional[int] = None
     with obs.collect(trace_path=obs.trace_path_from_env()) as runtime, \
             _warnings.catch_warnings(record=True) as caught:
         # Record every warning (no "once" dedup inside the cell — the
@@ -316,13 +326,18 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 )
             build_ms = (time.perf_counter() - cell_started) * 1000.0
             started = time.perf_counter()
-            with record_engine_runs() as engines_ran:
-                run = registry.run(
-                    payload["algorithm"],
-                    graph,
-                    engine=payload["engine"],
-                    **payload["algo_params"],
-                )
+            with contextlib.ExitStack() as stack:
+                if payload.get("shards"):
+                    shards_used = _enter_sharding(
+                        stack, graph, payload, obs
+                    )
+                with record_engine_runs() as engines_ran:
+                    run = registry.run(
+                        payload["algorithm"],
+                        graph,
+                        engine=payload["engine"],
+                        **payload["algo_params"],
+                    )
             wall_ms = (time.perf_counter() - started) * 1000.0
             # Provenance honesty: if the cell pinned an engine but a different
             # scheduler actually executed (the vector engine's tracer fallback),
@@ -364,8 +379,40 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             compute_ms=wall_ms,
             verify_ms=verify_ms,
             total_ms=(time.perf_counter() - cell_started) * 1000.0,
+            shards=shards_used,
         )
     return row
+
+
+def _enter_sharding(stack, graph, payload: Dict[str, Any], obs) -> Optional[int]:
+    """Install a sharded-execution scope on ``stack`` for a cell that
+    requested ``shards``: partition the built workload graph into a
+    per-cell temporary bundle and run inline (campaign workers are
+    already one process per cell; nesting a shard pool would
+    oversubscribe). Non-compact workloads cannot shard — the fallthrough
+    is disclosed, never silent. Returns the shard count actually
+    installed (None when fallen through), for the metrics blob."""
+    import tempfile
+
+    from repro.graphcore import CompactGraph
+    from repro.shard import partition as _partition
+    from repro.shard import sharding as _sharding
+
+    shards = int(payload["shards"])
+    if not isinstance(graph, CompactGraph):
+        obs.incr(
+            "shard.fallback",
+            reason="non-compact-workload",
+            algorithm=payload["algorithm"],
+        )
+        return None
+    tmpdir = stack.enter_context(
+        tempfile.TemporaryDirectory(prefix="repro-shards-")
+    )
+    with obs.span("shard.partition", shards=shards, n=graph.n):
+        bundle = _partition(graph, shards, tmpdir)
+    stack.enter_context(_sharding(graph, bundle, inline=True))
+    return shards
 
 
 def _cell_metrics(
@@ -375,6 +422,7 @@ def _cell_metrics(
     compute_ms: Optional[float],
     verify_ms: Optional[float],
     total_ms: float,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The per-cell metrics blob: phase timings, the counter/timer
     snapshot, and the (category, message) list of warnings the cell
@@ -392,6 +440,8 @@ def _cell_metrics(
         "counters": snapshot["counters"],
         "timers": snapshot["timers"],
     }
+    if shards is not None:
+        blob["shards"] = shards
     if build_ms is not None:
         blob["build_ms"] = round(build_ms, 3)
     if compute_ms is not None:
@@ -629,6 +679,7 @@ class CampaignRunner:
             "algo_params": dict(cell.algo_params),
             "engine": engine if engine is not None else (cell.engine or self.engine),
             "verify": self.verify,
+            "shards": cell.shards,
         }
 
     def run(self) -> List[Dict[str, Any]]:

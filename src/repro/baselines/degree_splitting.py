@@ -8,6 +8,12 @@ the ``2^h`` leaf subgraphs greedily with disjoint palettes yields roughly
 (an Eulerian circuit); Ghaffari–Su show how to emulate it in O(log n)
 distributed rounds, which is what the modeled round count charges — the
 executable split here is centralized, as documented in DESIGN.md.
+
+The split consumes only the duck read API (``nodes``/``neighbors``/
+``degree``), so :class:`~repro.graphcore.CompactGraph` inputs run
+natively (``compact_ok``) — and because the Euler walk is
+order-canonical, CSR and networkx representations of the same graph
+color identically.
 """
 
 from __future__ import annotations
@@ -25,35 +31,98 @@ from repro.baselines.greedy import greedy_edge_coloring
 from repro.types import Edge, EdgeColoring, edge_key
 
 
-def euler_split(graph: nx.Graph) -> Tuple[nx.Graph, nx.Graph]:
+def euler_split(graph) -> Tuple[nx.Graph, nx.Graph]:
     """Split the edges into two subgraphs of maximum degree at most
     ``ceil(Delta/2) + 1`` by 2-coloring each Eulerian circuit alternately.
 
     Odd-degree vertices are paired through a virtual vertex per connected
     component so every degree becomes even; virtual edges are discarded
-    after the walk.
+    after the walk (they still advance the alternation parity, which is
+    what keeps the two halves' degrees within the classic +1 of Delta/2).
+
+    ``graph`` may be any object with the duck read API
+    (``nodes()``/``neighbors()``) — :class:`nx.Graph` or
+    :class:`~repro.graphcore.CompactGraph`. The walk is order-canonical:
+    nodes are ranked by ``repr`` and the circuit always leaves a vertex
+    along its lowest-ranked unused edge, so both representations of the
+    same graph split identically (the compact-parity suite holds the
+    whole ``split`` pipeline to bit-identical colorings).
     """
+    order = sorted(graph.nodes(), key=repr)
+    rank = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    # Edge-instance adjacency over ranks: adj[u] = [(v, edge_id), ...],
+    # sorted so "next unused edge" always means lowest-ranked neighbor.
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    num_edges = 0
+    for u in range(n):
+        for w in graph.neighbors(order[u]):
+            v = rank[w]
+            if v > u:
+                adj[u].append((v, num_edges))
+                adj[v].append((u, num_edges))
+                num_edges += 1
+    for entries in adj:
+        entries.sort()
+
     halves = (nx.Graph(), nx.Graph())
     for half in halves:
-        half.add_nodes_from(graph.nodes())
-    for component in nx.connected_components(graph):
-        sub = graph.subgraph(component)
-        if sub.number_of_edges() == 0:
+        half.add_nodes_from(order)
+
+    # Component discovery in canonical order, then one Euler circuit per
+    # component (dummy vertex n pairing the odd-degree vertices).
+    seen = [False] * n
+    used = [False] * num_edges
+    for root in range(n):
+        if seen[root] or not adj[root]:
+            seen[root] = True
             continue
-        multi = nx.MultiGraph()
-        multi.add_nodes_from(sub.nodes())
-        multi.add_edges_from(sub.edges())
-        odd = [v for v in sub.nodes() if sub.degree(v) % 2 == 1]
-        dummy = ("__euler_dummy__", id(component))
+        component: List[int] = []
+        stack = [root]
+        seen[root] = True
+        while stack:
+            v = stack.pop()
+            component.append(v)
+            for w, _ in adj[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    stack.append(w)
+        component.sort()
+        odd = [v for v in component if len(adj[v]) % 2 == 1]
+        dummy = n
+        local_adj = {v: list(adj[v]) for v in component}
         if odd:
-            multi.add_node(dummy)
+            local_adj[dummy] = []
             for v in odd:
-                multi.add_edge(dummy, v)
-        start = dummy if odd else next(iter(sub.nodes()))
-        for parity, (a, b) in enumerate(nx.eulerian_circuit(multi, source=start)):
+                eid = len(used)
+                used.append(False)
+                local_adj[dummy].append((v, eid))
+                local_adj[v].append((dummy, eid))
+        start = dummy if odd else component[0]
+        # Iterative Hierholzer: the reversed pop order of the vertex
+        # stack is the circuit's vertex sequence.
+        ptr = {v: 0 for v in local_adj}
+        walk = [start]
+        path: List[int] = []
+        while walk:
+            v = walk[-1]
+            entries = local_adj[v]
+            i = ptr[v]
+            while i < len(entries) and used[entries[i][1]]:
+                i += 1
+            ptr[v] = i
+            if i == len(entries):
+                path.append(walk.pop())
+            else:
+                w, eid = entries[i]
+                used[eid] = True
+                walk.append(w)
+        path.reverse()
+        for parity in range(len(path) - 1):
+            a, b = path[parity], path[parity + 1]
             if dummy in (a, b):
                 continue
-            halves[parity % 2].add_edge(a, b)
+            halves[parity % 2].add_edge(order[a], order[b])
     return halves
 
 
@@ -151,5 +220,6 @@ _registry.register(
         runner=_run_split,
         invariants=("proper-edge-coloring", "palette-bound"),
         params=("threshold",),
+        compact_ok=True,
     )
 )

@@ -197,6 +197,57 @@ def cmd_color(args: argparse.Namespace) -> int:
     return 0
 
 
+def _enter_cli_sharding(stack, graph, args: argparse.Namespace):
+    """Install a sharded-execution scope for ``repro run --graph ...
+    --shards N``: reuse a valid bundle from ``--shard-dir`` (same parent
+    digest, same shard count) or partition one — into the shard dir if
+    given, a temporary directory otherwise. Workers run as processes;
+    ``--checkpoint`` makes the round loop resumable."""
+    import tempfile
+
+    from repro import graphcore
+    from repro.shard import ShardBundle, partition, sharding
+
+    if not isinstance(graph, graphcore.CompactGraph):
+        raise SystemExit(
+            "--shards needs a .csrg graph (partitioning works on CSR "
+            "arrays; convert first with: repro graph convert)"
+        )
+    # the .csrg header already carries the content digest — don't re-hash
+    # a memory-mapped multi-million-node array set.
+    if str(args.graph).endswith(".csrg"):
+        digest = graphcore.read_info(args.graph)["digest"]
+    else:
+        digest = graph.digest()
+    bundle = None
+    if args.shard_dir and (Path(args.shard_dir) / "manifest.json").exists():
+        candidate = ShardBundle.open(args.shard_dir)
+        if (
+            candidate.parent_digest == digest
+            and candidate.num_shards == args.shards
+        ):
+            bundle = candidate
+        else:
+            print(
+                f"shard dir {args.shard_dir} holds a different partition "
+                f"({candidate.num_shards} shards of "
+                f"{candidate.parent_digest[:12]}); repartitioning"
+            )
+    if bundle is None:
+        out = args.shard_dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-shards-")
+        )
+        bundle = partition(graph, args.shards, out)
+    return stack.enter_context(
+        sharding(
+            graph,
+            bundle,
+            checkpoint=args.checkpoint,
+            parent_digest=digest,
+        )
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import (
         CampaignCell,
@@ -209,8 +260,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     params = _algorithm_params(spec, args)
 
     if args.graph:
+        import contextlib
+
         graph = _read_graph_file(args.graph)
-        run = registry.run(args.algorithm, graph, engine=args.engine, **params)
+        shard_stats = None
+        with contextlib.ExitStack() as stack:
+            scope = (
+                _enter_cli_sharding(stack, graph, args)
+                if getattr(args, "shards", None)
+                else None
+            )
+            run = registry.run(args.algorithm, graph, engine=args.engine, **params)
+            if scope is not None:
+                shard_stats = scope.last_stats
         _verify_run(graph, run, params=params)
         rows = [
             {
@@ -226,6 +288,22 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "error": None,
             }
         ]
+        if shard_stats is not None:
+            rows[0]["shards"] = shard_stats["shards"]
+            rows[0]["shard_stats"] = shard_stats
+            print(
+                f"sharded: {shard_stats['shards']} shards "
+                f"({shard_stats['pool']} pool), "
+                f"{shard_stats['rounds_executed']} exchange rounds, "
+                f"worker peak rss {shard_stats['worker_peak_rss_kb']} KB"
+                + (" [resumed]" if shard_stats["resumed"] else "")
+            )
+        elif getattr(args, "shards", None):
+            print(
+                "sharded: requested but the run fell back to the engine "
+                "path (no shard program for this algorithm/input — see the "
+                "shard.fallback counter)"
+            )
     else:
         if args.workload not in workload_names():
             raise SystemExit(
@@ -240,6 +318,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 workload_params=workload_params,
                 seed=seed,
                 algo_params=params,
+                shards=getattr(args, "shards", None),
             )
             for seed in seeds
         ]
@@ -638,11 +717,45 @@ def _graph_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graph_partition(args: argparse.Namespace) -> int:
+    from repro import graphcore
+    from repro.shard import partition
+
+    if not args.graph:
+        raise SystemExit("graph partition requires --graph FILE.csrg")
+    if not args.out:
+        raise SystemExit("graph partition requires --out DIR")
+    if not args.shards or args.shards < 1:
+        raise SystemExit("graph partition requires --shards N (N >= 1)")
+    graph = graphcore.load(args.graph, mmap=True)
+    bundle = partition(graph, args.shards, args.out)
+    total_halo = sum(
+        bundle.shard(s).n_halo for s in range(bundle.num_shards)
+    )
+    total_boundary = sum(
+        int(bundle.shard(s).boundary.size) for s in range(bundle.num_shards)
+    )
+    print(
+        f"wrote {args.out}: {bundle.num_shards} shards of n={graph.n} "
+        f"m={graph.m} (parent digest {bundle.parent_digest[:12]})"
+    )
+    for s in range(bundle.num_shards):
+        shard = bundle.shard(s)
+        print(
+            f"  shard {s:>3}: own [{shard.lo}, {shard.hi}) "
+            f"({shard.n_own} nodes, {int(shard.indices.size)} directed edges, "
+            f"halo {shard.n_halo}, boundary {int(shard.boundary.size)})"
+        )
+    print(f"cut surface: {total_boundary} boundary / {total_halo} halo nodes")
+    return 0
+
+
 def cmd_graph(args: argparse.Namespace) -> int:
     return {
         "build": _graph_build,
         "info": _graph_info,
         "convert": _graph_convert,
+        "partition": _graph_partition,
     }[args.action](args)
 
 
@@ -702,15 +815,16 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _query_slowest(rows: List[Dict[str, Any]], top: int) -> int:
-    """``repro query --slowest N``: rank stored rows by measured cell
-    time (the schema-v3 metrics blob's ``compute_ms``, falling back to
-    the ``wall_ms`` column for pre-v3 rows, with the fallback disclosed
-    per line and in a trailing note)."""
+    """``repro query --slowest N``: rank stored rows by the ``wall_ms``
+    column — the one timing present for every schema version — so one
+    ranking never orders the v3 metrics blob's ``compute_ms`` against
+    another row's ``wall_ms``. Each line labels its source; v3 rows also
+    show the metrics compute-phase timing as detail."""
     from repro.obs import campaign_stats
 
     stats = campaign_stats(rows, top=top)
     if not stats["slowest"]:
-        print("(no timed rows — the store has no wall_ms or metrics data)")
+        print("(no timed rows — the store has no wall_ms data)")
         return 0
     for item in stats["slowest"]:
         key = item.get("run_key") or ""
@@ -719,8 +833,14 @@ def _query_slowest(rows: List[Dict[str, Any]], top: int) -> int:
     if stats["pre_v3"]:
         print(
             f"note: {stats['pre_v3']} of {stats['cells']} rows predate the "
-            "metrics column (schema v3); their timing falls back to wall_ms "
-            "— re-run their cells with --fresh to backfill per-phase metrics"
+            "metrics column (schema v3); they rank by wall_ms like every "
+            "row but carry no per-phase detail — re-run their cells with "
+            "--fresh to backfill metrics"
+        )
+    if stats.get("untimed"):
+        print(
+            f"note: {stats['untimed']} rows have no wall_ms column and are "
+            "excluded from the ranking"
         )
     return 0
 
@@ -1072,6 +1192,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", help="write structured JSON results")
     run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute sharded out-of-core: partition the graph into N "
+        "id-range shards, one mmap-backed worker each, one bulk-"
+        "synchronous exchange per round — bit-identical results at "
+        "bounded per-worker memory (algorithms without a shard program "
+        "fall back to the engine path, disclosed)",
+    )
+    run.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent shard bundle directory (with --graph): reused "
+        "when it already holds this graph's partition, written otherwise "
+        "(default: a temporary directory)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint sharded round state into DIR after every "
+        "exchange; a killed run resumes from the last completed round",
+    )
+    run.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -1194,9 +1340,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     graph.add_argument(
         "action",
-        choices=("build", "info", "convert"),
+        choices=("build", "info", "convert", "partition"),
         help="build a workload into a .csrg file, print a file's header, "
-        "or convert between edge-list/METIS/.csrg",
+        "convert between edge-list/METIS/.csrg, or partition a .csrg "
+        "into a shard bundle for out-of-core execution",
     )
     graph.add_argument(
         "--workload", default=None, help="named workload to build (build)"
@@ -1211,7 +1358,18 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument(
         "--seed", type=int, default=0, help="workload seed (build)"
     )
-    graph.add_argument("--graph", default=None, help=".csrg file to inspect (info)")
+    graph.add_argument(
+        "--graph",
+        default=None,
+        help=".csrg file to inspect (info) or partition (partition)",
+    )
+    graph.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of contiguous id-range shards (partition)",
+    )
     graph.add_argument(
         "--in",
         dest="input",
@@ -1221,8 +1379,8 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument(
         "--out",
         default=None,
-        help="destination file: .csrg target for build, .csrg or edge list "
-        "for convert",
+        help="destination: .csrg target for build, .csrg or edge list "
+        "for convert, bundle directory for partition",
     )
     graph.set_defaults(func=cmd_graph)
 
@@ -1277,8 +1435,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         metavar="N",
-        help="print the N slowest stored cells by measured time (schema-v3 "
-        "metrics, wall_ms fallback for older rows) instead of a row dump",
+        help="print the N slowest stored cells ranked by the wall_ms column "
+        "(consistent across schema versions; v3 metrics compute_ms shown "
+        "as per-line detail) instead of a row dump",
     )
     query.add_argument("--out", help="write the result to a file")
     query.set_defaults(func=cmd_query)

@@ -45,6 +45,7 @@ __all__ = [
     "FORMAT_VERSION",
     "save",
     "load",
+    "expected_file_bytes",
     "read_info",
     "read_edge_list",
     "read_metis",
@@ -138,11 +139,38 @@ def _read_header(handle: BinaryIO, path: PathLike) -> Dict[str, Any]:
     }
 
 
+def expected_file_bytes(info: Dict[str, Any]) -> int:
+    """The exact file size a ``.csrg`` header promises: header + indptr
+    + indices + label/attr sidebands. Any mismatch with the size on disk
+    means a truncated or mis-written file."""
+    idx_itemsize = info["indices_itemsize"]
+    return (
+        HEADER_SIZE
+        + (info["n"] + 1) * info["indptr_itemsize"]
+        + 2 * info["m"] * idx_itemsize
+        + info["labels_len"]
+        + info["attrs_len"]
+    )
+
+
+def _check_extents(info: Dict[str, Any], path: PathLike) -> None:
+    expected = expected_file_bytes(info)
+    actual = Path(path).stat().st_size
+    if actual != expected:
+        raise InvalidParameterError(
+            f"{path}: file is {actual} bytes, header promises {expected}"
+        )
+
+
 def read_info(path: PathLike) -> Dict[str, Any]:
     """Header metadata of a ``.csrg`` file — n, m, digest, dtypes,
-    sideband presence — without touching the arrays."""
+    sideband presence — without touching the arrays. The file size is
+    still cross-checked against the header's extents so a truncated
+    shard fails fast here rather than faulting mid-round in a worker
+    that memory-mapped it."""
     with open(path, "rb") as handle:
         info = _read_header(handle, path)
+    _check_extents(info, path)
     info["path"] = str(path)
     info["file_bytes"] = Path(path).stat().st_size
     info["has_labels"] = bool(info["flags"] & _FLAG_LABELS)
@@ -178,12 +206,7 @@ def load(
         idx_dtype = np.dtype(np.int32 if info["indices_itemsize"] == 4 else np.int64)
         ptr_bytes = (n + 1) * 8
         idx_bytes = 2 * m * idx_dtype.itemsize
-        expected = HEADER_SIZE + ptr_bytes + idx_bytes + info["labels_len"] + info["attrs_len"]
-        actual = Path(path).stat().st_size
-        if actual != expected:
-            raise InvalidParameterError(
-                f"{path}: file is {actual} bytes, header promises {expected}"
-            )
+        _check_extents(info, path)
         if mmap:
             indptr = np.memmap(
                 path, dtype=np.int64, mode="r", offset=HEADER_SIZE, shape=(n + 1,)

@@ -220,7 +220,19 @@ def run_on_graph(
     the reference :class:`Network` scheduler. Every algorithm in the library
     funnels through here, so one ``use_engine("vector")`` scope switches a
     whole pipeline.
+
+    A :func:`repro.shard.runtime.sharding` scope is consulted first: runs
+    it can reproduce execute shard-by-shard out of core; everything else
+    falls through to the engines with a disclosed ``shard.fallback``.
     """
+    from repro.shard.context import active as _shard_scope
+
+    scope = _shard_scope()
+    if scope is not None:
+        result = scope.maybe_run(graph, algorithm, extras or {}, max_rounds)
+        if result is not None:
+            return result
+
     from repro.engine.base import current_engine, get_engine
 
     eng = get_engine(engine) if engine is not None else current_engine()

@@ -10,9 +10,12 @@ the per-algorithm round/time distributions look like — without re-running
 anything.
 
 Rows that predate schema v3 have no blob (``metrics is None``); every
-aggregate here degrades explicitly (they are counted and reported as
-``pre_v3``, and timing falls back to the stored ``wall_ms`` column)
-rather than silently skewing the statistics.
+aggregate here degrades explicitly: they are counted and reported as
+``pre_v3``, and the slowest-cell ranking orders *every* row by the
+``wall_ms`` column (present across all schema versions) so one ranking
+never compares the blob's ``compute_ms`` against another row's
+``wall_ms``. The per-row metrics timing is surfaced as labeled detail,
+not as the sort key.
 """
 
 from __future__ import annotations
@@ -39,15 +42,26 @@ def _cell_label(row: Mapping[str, Any]) -> str:
 
 
 def _cell_time_ms(row: Mapping[str, Any]) -> Optional[float]:
-    """The cell's measured compute time: the metrics blob's phase timing
-    when present, else the stored ``wall_ms`` column (pre-v3 rows)."""
+    """The cell's ranking time: always the stored ``wall_ms`` column.
+
+    ``wall_ms`` exists for every schema version, so the slowest-cell
+    ordering compares one quantity across the whole store. The metrics
+    blob's ``compute_ms`` (v3 rows only) is reported alongside as detail
+    via :func:`_cell_compute_ms` — never as the sort key, because mixing
+    compute-only timings with build+compute+verify wall timings in one
+    ranking orders apples against oranges."""
+    value = row.get("wall_ms")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _cell_compute_ms(row: Mapping[str, Any]) -> Optional[float]:
+    """The metrics blob's compute-phase timing, when the row has one."""
     metrics = row.get("metrics")
     if isinstance(metrics, Mapping):
         value = metrics.get("compute_ms")
         if isinstance(value, (int, float)):
             return float(value)
-    value = row.get("wall_ms")
-    return float(value) if isinstance(value, (int, float)) else None
+    return None
 
 
 def _distribution(values: Sequence[float]) -> Dict[str, float]:
@@ -64,6 +78,7 @@ def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str,
     """Aggregate a set of store rows into the ``repro stats`` payload."""
     counters: Dict[str, float] = {}
     pre_v3 = 0
+    untimed = 0
     timed: List[Any] = []
     queue_ms: List[float] = []
     per_algorithm: Dict[str, Dict[str, List[float]]] = {}
@@ -86,10 +101,12 @@ def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str,
                 queue_ms.append(float(q))
         ms = _cell_time_ms(row)
         if ms is not None:
-            timed.append((ms, metrics is not None, row))
+            timed.append((ms, _cell_compute_ms(row), row))
             algo = str(row.get("algorithm"))
             dist = per_algorithm.setdefault(algo, {"wall_ms": [], "rounds": []})
             dist["wall_ms"].append(ms)
+        else:
+            untimed += 1
         rounds = row.get("rounds_actual")
         if isinstance(rounds, (int, float)):
             per_algorithm.setdefault(
@@ -100,10 +117,15 @@ def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str,
         {
             "cell": _cell_label(row),
             "ms": round(ms, 3),
-            "source": "metrics" if has_metrics else "wall_ms (pre-v3 row)",
+            "source": (
+                f"wall_ms; metrics compute_ms={round(compute, 3)}"
+                if compute is not None
+                else "wall_ms; pre-v3 (no metrics)"
+            ),
+            "compute_ms": None if compute is None else round(compute, 3),
             "run_key": row.get("run_key"),
         }
-        for ms, has_metrics, row in timed[:top]
+        for ms, compute, row in timed[:top]
     ]
     fallbacks = {
         key: value
@@ -122,6 +144,7 @@ def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str,
         "errors": errors,
         "verdicts": dict(sorted(verdicts.items())),
         "pre_v3": pre_v3,
+        "untimed": untimed,
         "slowest": slowest,
         "fallbacks": fallbacks,
         "counters": dict(sorted(counters.items())),
@@ -156,7 +179,12 @@ def render_stats(
     if stats["pre_v3"]:
         lines.append(
             f"pre-v3 rows without metrics: {stats['pre_v3']} "
-            "(timings fall back to the wall_ms column)"
+            "(ranked by wall_ms like every row; no per-phase detail)"
+        )
+    if stats.get("untimed"):
+        lines.append(
+            f"rows without a wall_ms column: {stats['untimed']} "
+            "(excluded from the slowest ranking)"
         )
     if summary:
         served = summary.get("hits", 0)

@@ -1,0 +1,21 @@
+"""The dynamically scoped sharding context.
+
+Deliberately import-light: :func:`repro.local.network.run_on_graph`
+consults :func:`active` on every call, so this module must not pull
+numpy, the partitioner, or the worker runtime. The heavy objects only
+exist while a :func:`repro.shard.runtime.sharding` scope is installed.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Any, Optional
+
+_ACTIVE: contextvars.ContextVar[Optional[Any]] = contextvars.ContextVar(
+    "repro_shard_scope", default=None
+)
+
+
+def active() -> Optional[Any]:
+    """The installed :class:`~repro.shard.runtime.ShardingScope`, if any."""
+    return _ACTIVE.get()

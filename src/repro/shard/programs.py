@@ -1,0 +1,467 @@
+"""Per-algorithm round programs for sharded execution.
+
+A program splits one whole-run kernel (PR 6) into a coordinator half and
+a worker half so the identical computation runs one shard at a time:
+
+* the **coordinator** half plans the run from globally known inputs (the
+  bundle manifest plus the algorithm extras), decides after every
+  bulk-synchronous round whether to continue, reproduces the kernel's
+  closed-form round/message accounting, and re-raises the kernel's
+  authentic errors — same type, same message — from the per-shard stats.
+* the **worker** half holds the per-shard state (a dict of numpy arrays,
+  which is also the checkpoint payload) and executes one array pass per
+  round over the local CSR slice, mirroring the kernel line by line with
+  the node set restricted to the owned range. Foreign neighbor state
+  arrives as the halo values of the preceding exchange.
+
+The contract is bit-identity: for every input where the unsharded kernel
+produces ``RunResult(r, m, outputs, ...)``, the sharded program produces
+the same result (the parity suite in ``tests/shard`` is the gate), and
+for every input the kernel raises on, the program raises the same
+exception. Inputs a kernel would *decline* (``KernelUnsupported``) make
+the program raise :class:`ShardFallback` instead, and the runtime routes
+the run to the ordinary engine path — disclosed, never silent.
+
+Worker-side errors that the per-node semantics define (an uncovered
+evaluation point in Linial's refinement) are reported through the round
+stats, not raised in the worker: the coordinator reduces the reports
+(first failing node in global id order, exactly like the kernel's
+``np.flatnonzero(undecided)[0]``) and raises from its own frame so the
+caller sees one authentic exception, not a pool plumbing error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ColoringError, RoundLimitExceeded
+from repro.kernels import KernelUnsupported
+from repro.kernels.linial import _check_encodable, _digit_planes, _eval_point
+from repro.kernels.segments import dense_int_table, require_int
+from repro.local.network import RunResult
+from repro.shard.partition import Shard
+
+
+class ShardFallback(Exception):
+    """The program declines this input; run it through the normal engine
+    path instead. The message is a stable short string usable as a
+    counter label (mirrors ``KernelUnsupported``)."""
+
+
+def _local_endpoints(shard: Shard) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed local edges of the owned rows: sources are owned local
+    ids, destinations may be owned or halo local ids."""
+    indptr = np.asarray(shard.indptr)
+    src = np.repeat(np.arange(shard.n_own, dtype=np.int64), np.diff(indptr))
+    dst = np.asarray(shard.indices, dtype=np.int64)
+    return src, dst
+
+
+class ShardProgram:
+    """Protocol base. Coordinator methods take/return JSON-able ``acc``
+    state inside ``plan`` (plus numpy planning arrays that are
+    reconstructed deterministically on resume); worker methods exchange
+    dict-of-ndarray state, which is the npz checkpoint payload."""
+
+    name: str = ""
+
+    # ---- coordinator half -------------------------------------------------
+    def plan(
+        self, manifest: Dict[str, Any], extras: Dict[str, Any], max_rounds: int
+    ) -> Tuple[Dict[str, Any], Optional[RunResult]]:
+        raise NotImplementedError
+
+    def init_payload(self, plan: Dict[str, Any], shard: Shard) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def next_action(
+        self, plan: Dict[str, Any], completed: int, stats: List[Dict[str, Any]]
+    ) -> Optional[Any]:
+        raise NotImplementedError
+
+    def result(
+        self, plan: Dict[str, Any], outputs: np.ndarray, manifest: Dict[str, Any]
+    ) -> RunResult:
+        raise NotImplementedError
+
+    def fingerprint(self, plan: Dict[str, Any]) -> str:
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(repr(plan.get("print_key", "")).encode())
+        for arr in plan.get("print_arrays", ()):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
+
+    # ---- worker half ------------------------------------------------------
+    def init_state(
+        self, shard: Shard, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        raise NotImplementedError
+
+    def boundary(self, shard: Shard, state: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(
+        self,
+        shard: Shard,
+        state: Dict[str, np.ndarray],
+        halo_vals: np.ndarray,
+        arg: Any,
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def finalize(self, shard: Shard, state: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LinialProgram(ShardProgram):
+    """Sharded twin of :func:`repro.kernels.linial.linial_kernel`: the
+    schedule is a pure function of ``(m0, Delta)`` — both in the manifest
+    or extras — so the coordinator plans every round up front; each round
+    is one cover-free refinement pass per shard with the halo colors from
+    the preceding exchange."""
+
+    name = "linial"
+
+    def plan(self, manifest, extras, max_rounds):
+        from repro.substrates.linial import linial_schedule
+
+        if "initial_coloring" not in extras or "m0" not in extras:
+            raise ShardFallback("missing linial extras")
+        n = int(manifest["n"])
+        if n == 0:
+            return {}, RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+        colors = dense_int_table(extras["initial_coloring"], n)
+        m0 = require_int(extras["m0"])
+        schedule, _ = linial_schedule(m0, int(manifest["max_degree"]))
+        if not schedule:
+            outputs = dict(enumerate(colors.tolist()))
+            return {}, RunResult(
+                rounds=0, messages=0, outputs=outputs, round_messages=[]
+            )
+        if len(schedule) > max_rounds:
+            raise RoundLimitExceeded(max_rounds, n)
+        try:
+            _check_encodable(colors, schedule[0].q, schedule[0].d)
+        except KernelUnsupported as exc:
+            raise ShardFallback(str(exc))
+        plan = {
+            "schedule": [[int(step.q), int(step.d)] for step in schedule],
+            "colors": colors,
+            "acc": {},
+            "print_key": (m0, int(manifest["max_degree"])),
+            "print_arrays": (colors,),
+        }
+        return plan, None
+
+    def init_payload(self, plan, shard):
+        colors = plan["colors"]
+        return {
+            "own": colors[shard.lo : shard.hi],
+            "halo": colors[np.asarray(shard.halo)],
+        }
+
+    def next_action(self, plan, completed, stats):
+        undecided = [tuple(s["undecided"]) for s in stats if s.get("undecided")]
+        if undecided:
+            # the kernel reports the first undecided node in global id
+            # order; with contiguous ranges that is the minimum over the
+            # shards' first-undecided reports.
+            _gid, degree = min(undecided)
+            q, d = plan["schedule"][completed - 1]
+            raise ColoringError(
+                "cover-free refinement failed: no uncovered evaluation point "
+                f"(q={q}, d={d}, degree={degree})"
+            )
+        if completed < len(plan["schedule"]):
+            return list(plan["schedule"][completed])
+        return None
+
+    def result(self, plan, outputs, manifest):
+        rounds = len(plan["schedule"])
+        per_round = 2 * int(manifest["m"])
+        return RunResult(
+            rounds=rounds,
+            messages=per_round * rounds,
+            outputs=dict(enumerate(outputs.tolist())),
+            round_messages=[per_round] * rounds,
+        )
+
+    def init_state(self, shard, payload):
+        colors = np.concatenate(
+            [
+                np.asarray(payload["own"], dtype=np.int64),
+                np.asarray(payload["halo"], dtype=np.int64),
+            ]
+        )
+        return {"colors": colors}, {}
+
+    def boundary(self, shard, state):
+        return state["colors"][np.asarray(shard.boundary)]
+
+    def step(self, shard, state, halo_vals, arg):
+        q, d = int(arg[0]), int(arg[1])
+        colors = state["colors"]
+        colors[shard.n_own :] = halo_vals
+        n_own = shard.n_own
+        # one cover-free refinement restricted to the owned rows — the
+        # same passes as ``_refine_round`` with ``covered``/``undecided``
+        # indexed by owned local ids (every edge leaving an owned node is
+        # present locally, so the cover test sees the full neighborhood).
+        planes = _digit_planes(colors, q, d)
+        src, dst = _local_endpoints(shard)
+        live = colors[src] != colors[dst]
+        e_src, e_dst = src[live], dst[live]
+        undecided = np.ones(n_own, dtype=bool)
+        new_colors = np.empty(n_own, dtype=np.int64)
+        for i in range(q):
+            vals = _eval_point(planes, i, q)
+            covered = np.zeros(n_own, dtype=bool)
+            covered[e_src[vals[e_src] == vals[e_dst]]] = True
+            pick = undecided & ~covered
+            if pick.any():
+                new_colors[pick] = i * q + vals[:n_own][pick]
+                undecided &= ~pick
+                if not undecided.any():
+                    break
+                keep = undecided[e_src]
+                e_src, e_dst = e_src[keep], e_dst[keep]
+        stats: Dict[str, Any] = {}
+        if undecided.any():
+            worst = int(np.flatnonzero(undecided)[0])
+            stats["undecided"] = [
+                shard.lo + worst,
+                int(np.count_nonzero(src == worst)),
+            ]
+            decided = ~undecided
+            colors[:n_own][decided] = new_colors[decided]
+        else:
+            colors[:n_own] = new_colors
+        return stats
+
+    def finalize(self, shard, state):
+        return state["colors"][: shard.n_own].copy()
+
+
+class DefectiveProgram(ShardProgram):
+    """Sharded twin of :func:`repro.kernels.linial.defective_kernel`. A
+    single evaluation round that only reads the *initial* colors, so the
+    halo values ship in the init payload and no exchange is needed: every
+    shard scores its owned nodes in ``init_state`` and the coordinator
+    stops immediately."""
+
+    name = "defective-refinement"
+
+    def plan(self, manifest, extras, max_rounds):
+        if not {"initial_coloring", "q", "d"} <= set(extras):
+            raise ShardFallback("missing defective-refinement extras")
+        n = int(manifest["n"])
+        if n == 0:
+            return {}, RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+        q = require_int(extras["q"])
+        d = require_int(extras["d"])
+        if q < 1 or d < 0:
+            raise ShardFallback("degenerate (q, d)")
+        colors = dense_int_table(extras["initial_coloring"], n)
+        try:
+            _check_encodable(colors, q, d)
+        except KernelUnsupported as exc:
+            raise ShardFallback(str(exc))
+        if max_rounds < 1:
+            raise RoundLimitExceeded(max_rounds, n)
+        plan = {
+            "colors": colors,
+            "q": q,
+            "d": d,
+            "acc": {},
+            "print_key": (q, d),
+            "print_arrays": (colors,),
+        }
+        return plan, None
+
+    def init_payload(self, plan, shard):
+        colors = plan["colors"]
+        return {
+            "own": colors[shard.lo : shard.hi],
+            "halo": colors[np.asarray(shard.halo)],
+            "q": plan["q"],
+            "d": plan["d"],
+        }
+
+    def next_action(self, plan, completed, stats):
+        return None
+
+    def result(self, plan, outputs, manifest):
+        per_round = 2 * int(manifest["m"])
+        return RunResult(
+            rounds=1,
+            messages=per_round,
+            outputs=dict(enumerate(outputs.tolist())),
+            round_messages=[per_round],
+        )
+
+    def init_state(self, shard, payload):
+        q, d = int(payload["q"]), int(payload["d"])
+        colors = np.concatenate(
+            [
+                np.asarray(payload["own"], dtype=np.int64),
+                np.asarray(payload["halo"], dtype=np.int64),
+            ]
+        )
+        n_own = shard.n_own
+        planes = _digit_planes(colors, q, d)
+        src, dst = _local_endpoints(shard)
+        best_point = np.zeros(n_own, dtype=np.int64)
+        best_count = np.diff(np.asarray(shard.indptr)).astype(np.int64) + 1
+        best_val = np.zeros(n_own, dtype=np.int64)
+        for i in range(q):
+            vals = _eval_point(planes, i, q)
+            collisions = np.bincount(
+                src[vals[src] == vals[dst]], minlength=n_own
+            )
+            better = collisions < best_count
+            if better.any():
+                best_point[better] = i
+                best_count[better] = collisions[better]
+                best_val[better] = vals[:n_own][better]
+        return {"out": best_point * q + best_val}, {}
+
+    def boundary(self, shard, state):
+        return state["out"][np.asarray(shard.boundary)]
+
+    def finalize(self, shard, state):
+        return state["out"].copy()
+
+
+class PeelerProgram(ShardProgram):
+    """Sharded twin of :func:`repro.kernels.peeling.peeler_kernel`. The
+    per-round exchange ships the boundary nodes' just-removed flags; the
+    coordinator reduces the shards' alive/sent/newly stats to replicate
+    the kernel's termination and round-limit decisions exactly."""
+
+    name = "h-partition"
+
+    def plan(self, manifest, extras, max_rounds):
+        if "threshold" not in extras:
+            raise ShardFallback("missing threshold")
+        threshold = extras["threshold"]
+        if type(threshold) not in (int, float):
+            raise ShardFallback("non-numeric threshold")
+        n = int(manifest["n"])
+        if n == 0:
+            return {}, RunResult(rounds=0, messages=0, outputs={}, round_messages=[])
+        plan = {
+            "threshold": threshold,
+            "max_rounds": max_rounds,
+            "acc": {"rounds": 0, "messages": 0, "round_messages": []},
+            "print_key": (threshold, max_rounds),
+            "print_arrays": (),
+        }
+        return plan, None
+
+    def init_payload(self, plan, shard):
+        return {"threshold": plan["threshold"]}
+
+    def next_action(self, plan, completed, stats):
+        acc = plan["acc"]
+        sent = sum(int(s["sent"]) for s in stats)
+        alive = sum(int(s["alive"]) for s in stats)
+        newly_any = any(s["newly_any"] for s in stats)
+        acc["messages"] += sent
+        if alive == 0:
+            return None
+        if acc["rounds"] >= plan["max_rounds"] or not newly_any:
+            raise RoundLimitExceeded(plan["max_rounds"], alive)
+        acc["rounds"] += 1
+        acc["round_messages"].append(sent)
+        return acc["rounds"]
+
+    def result(self, plan, outputs, manifest):
+        acc = plan["acc"]
+        return RunResult(
+            rounds=acc["rounds"],
+            messages=acc["messages"],
+            outputs=dict(enumerate(outputs.tolist())),
+            round_messages=list(acc["round_messages"]),
+        )
+
+    def init_state(self, shard, payload):
+        threshold = payload["threshold"]
+        degrees = np.diff(np.asarray(shard.indptr)).astype(np.int64)
+        remaining = degrees.copy()
+        newly = remaining <= threshold
+        level = np.zeros(shard.n_own, dtype=np.int64)
+        level[newly] = 1
+        alive = ~newly
+        state = {
+            "level": level,
+            "remaining": remaining,
+            "newly": newly,
+            "alive": alive,
+            "degrees": degrees,
+            "threshold": np.asarray(threshold),
+        }
+        return state, self._stats(state)
+
+    @staticmethod
+    def _stats(state: Dict[str, np.ndarray]) -> Dict[str, Any]:
+        return {
+            "sent": int(state["degrees"][state["newly"]].sum()),
+            "alive": int(state["alive"].sum()),
+            "newly_any": bool(state["newly"].any()),
+        }
+
+    def boundary(self, shard, state):
+        return state["newly"][np.asarray(shard.boundary)].astype(np.int64)
+
+    def step(self, shard, state, halo_vals, arg):
+        # removal announcements land on the reversed edges: for owned
+        # node v, the count of neighbors u with newly[u] — identical to
+        # the kernel's bincount over (u -> v) because the CSR is
+        # symmetric.
+        newly_local = np.concatenate(
+            [state["newly"], halo_vals.astype(bool)]
+        )
+        src, dst = _local_endpoints(shard)
+        announced = np.bincount(
+            src[newly_local[dst]], minlength=shard.n_own
+        )
+        state["remaining"] -= announced
+        newly = state["alive"] & (state["remaining"] <= state["threshold"][()])
+        state["level"][newly] = int(arg) + 1
+        state["alive"] &= ~newly
+        state["newly"] = newly
+        return self._stats(state)
+
+    def finalize(self, shard, state):
+        return state["level"].copy()
+
+
+_PROGRAMS: Dict[str, ShardProgram] = {}
+
+
+def register_program(program: ShardProgram) -> None:
+    _PROGRAMS[program.name] = program
+
+
+def get_program(name: Optional[str]) -> Optional[ShardProgram]:
+    """The registered program for algorithm ``name`` (keyed like the
+    kernel registry: the :class:`~repro.local.algorithm.NodeAlgorithm`
+    name), or None — the runtime then discloses a ``no-program``
+    fallback."""
+    if name is None:
+        return None
+    return _PROGRAMS.get(name)
+
+
+def program_names() -> List[str]:
+    return sorted(_PROGRAMS)
+
+
+register_program(LinialProgram())
+register_program(DefectiveProgram())
+register_program(PeelerProgram())

@@ -121,11 +121,12 @@ def assert_parity(algorithm, original, **params):
 
 
 class TestCompactOkAlgorithms:
-    def test_catalogue_is_mostly_compact_capable(self):
-        # PR 6 acceptance gate: at least 12 of the registered algorithms
-        # consume CompactGraph without conversion (was 3 before).
-        assert len(COMPACT_OK) >= 12
-        assert "split" not in COMPACT_OK  # the one documented exception
+    def test_catalogue_is_fully_compact_capable(self):
+        # PR 6 left `split` as the one conversion-fallback exception;
+        # PR 9 closed it — every registered algorithm now consumes
+        # CompactGraph without conversion.
+        assert len(COMPACT_OK) == len(registry.names())
+        assert "split" in COMPACT_OK
 
     @pytest.mark.parametrize("algorithm", COMPACT_OK)
     def test_native_path_matches_converted(self, algorithm):

@@ -93,6 +93,27 @@ class TestCorruption:
         with pytest.raises(InvalidParameterError, match="bytes"):
             load(path)
 
+    def test_truncated_file_fails_fast_under_mmap(self, grid):
+        # the extent check must run before any page is mapped: a worker
+        # that mmaps a truncated shard would otherwise fault mid-round
+        _, path, _ = grid
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(InvalidParameterError, match="bytes"):
+            load(path, mmap=True)
+
+    def test_oversized_file_rejected(self, grid):
+        _, path, _ = grid
+        path.write_bytes(path.read_bytes() + b"\0" * 16)
+        for mmap in (False, True):
+            with pytest.raises(InvalidParameterError, match="bytes"):
+                load(path, mmap=mmap)
+
+    def test_read_info_checks_extents(self, grid):
+        _, path, _ = grid
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(InvalidParameterError, match="bytes"):
+            read_info(path)
+
     def test_flipped_payload_caught(self, grid):
         _, path, _ = grid
         raw = bytearray(path.read_bytes())

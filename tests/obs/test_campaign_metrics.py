@@ -19,14 +19,51 @@ CELLS = [
     CampaignCell("greedy", "random-regular", {"n": 16, "d": 4}, seed=0),
 ]
 
-#: A compact workload driven through the one non-compact algorithm: every
-#: such cell raises the conversion PerformanceWarning. Distinct params
-#: (not distinct seeds — xl-grid is deterministic, seeds would collapse
-#: into one shared computation) so both cells actually execute.
+#: Every registered algorithm is compact-capable since PR 9 closed the
+#: `split` gap, so the conversion-fallback disclosure path needs a
+#: synthetic nx-only algorithm to stay covered. The fixture registers
+#: it for one test and removes it again so registry-enumerating suites
+#: (compact parity, `repro kernels`) never see it.
+PROBE = "nx-only-probe"
+
+#: Compact workload cells driven through the nx-only probe: every such
+#: cell raises the conversion PerformanceWarning. Distinct params (not
+#: distinct seeds — xl-grid is deterministic, seeds would collapse into
+#: one shared computation) so both cells actually execute.
 WARNING_CELLS = [
-    CampaignCell("split", "xl-grid", {"rows": 4, "cols": 4}),
-    CampaignCell("split", "xl-grid", {"rows": 4, "cols": 5}),
+    CampaignCell(PROBE, "xl-grid", {"rows": 4, "cols": 4}),
+    CampaignCell(PROBE, "xl-grid", {"rows": 4, "cols": 5}),
 ]
+
+
+@pytest.fixture
+def nx_only_algorithm():
+    from repro import registry
+
+    def _runner(graph, **params):
+        return registry.AlgorithmRun(
+            name=PROBE,
+            kind="vertex-coloring",
+            coloring={v: 0 for v in graph.nodes()},
+            colors_used=1,
+        )
+
+    registry.register(
+        registry.AlgorithmSpec(
+            name=PROBE,
+            family="baseline",
+            kind="vertex-coloring",
+            summary="test-only: exercises the CompactGraph conversion fallback",
+            color_bound="1",
+            rounds_bound="0",
+            runner=_runner,
+            invariants=(),
+        )
+    )
+    try:
+        yield PROBE
+    finally:
+        registry._REGISTRY.pop(PROBE, None)
 
 
 class TestCellMetricsBlob:
@@ -68,9 +105,9 @@ class TestCellMetricsBlob:
         assert row["metrics"]["v"] == METRICS_VERSION
         assert row["metrics"]["total_ms"] >= 0
 
-    def test_warnings_captured_not_leaked(self):
+    def test_warnings_captured_not_leaked(self, nx_only_algorithm):
         payload = {
-            "algorithm": "split",
+            "algorithm": nx_only_algorithm,
             "workload": "xl-grid",
             "workload_params": {"rows": 4, "cols": 4},
             "seed": 0,
@@ -85,7 +122,8 @@ class TestCellMetricsBlob:
         assert row["error"] is None
         pairs = row["metrics"]["warnings"]
         assert ["PerformanceWarning"] == sorted({c for c, _ in pairs})
-        assert row["metrics"]["counters"]["registry.compact_fallback[algorithm=split]"] == 1
+        counter = f"registry.compact_fallback[algorithm={nx_only_algorithm}]"
+        assert row["metrics"]["counters"][counter] == 1
 
 
 class TestRunnerMetrics:
@@ -117,7 +155,7 @@ class TestRunnerMetrics:
         assert 0 < summary["worker_utilization"] <= 1
         assert summary["elapsed_s"] >= 0
 
-    def test_warning_deduped_to_one_emission(self):
+    def test_warning_deduped_to_one_emission(self, nx_only_algorithm):
         runner = CampaignRunner(WARNING_CELLS, jobs=1, verify=False)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")

@@ -36,18 +36,38 @@ def _row(algorithm="linial", ms=10.0, metrics=True, **over):
 
 
 class TestCampaignStats:
-    def test_slowest_prefers_metrics_timing(self):
+    def test_slowest_ranks_on_wall_ms(self):
         stats = campaign_stats([_row(ms=5.0), _row(ms=50.0)], top=1)
         (slowest,) = stats["slowest"]
-        assert slowest["ms"] == 50.0
-        assert slowest["source"] == "metrics"
+        assert slowest["ms"] == 100.0  # the wall_ms column, not compute_ms
+        assert slowest["source"].startswith("wall_ms")
+        assert slowest["compute_ms"] == 50.0  # metrics detail, not the key
 
-    def test_pre_v3_rows_fall_back_to_wall_ms(self):
+    def test_pre_v3_rows_rank_on_the_same_column(self):
         stats = campaign_stats([_row(ms=5.0, metrics=False)], top=5)
         assert stats["pre_v3"] == 1
         (slowest,) = stats["slowest"]
         assert slowest["ms"] == 10.0  # the wall_ms column
+        assert slowest["source"].startswith("wall_ms")
         assert "pre-v3" in slowest["source"]
+        assert slowest["compute_ms"] is None
+
+    def test_mixed_rows_never_order_compute_against_wall(self):
+        # Under the old mixing, the v3 row ranked by compute_ms=50 beat
+        # the pre-v3 row's wall_ms=40 even though its own wall time (100)
+        # was larger — the ordering compared different quantities. Both
+        # now rank by wall_ms.
+        v3 = _row(ms=50.0)  # wall_ms=100
+        old = _row(ms=20.0, metrics=False)  # wall_ms=40
+        stats = campaign_stats([old, v3], top=2)
+        assert [item["ms"] for item in stats["slowest"]] == [100.0, 40.0]
+        sources = {item["source"].split(";")[0] for item in stats["slowest"]}
+        assert sources == {"wall_ms"}
+
+    def test_rows_without_wall_ms_are_excluded_and_counted(self):
+        stats = campaign_stats([_row(), _row(wall_ms=None)], top=5)
+        assert stats["untimed"] == 1
+        assert len(stats["slowest"]) == 1
 
     def test_fallback_counters_filtered_by_prefix(self):
         stats = campaign_stats([_row()], top=5)
@@ -115,8 +135,8 @@ class TestQuerySlowest:
         conn.close()
         assert main(["query", "--store", str(small_store), "--slowest", "5"]) == 0
         out = capsys.readouterr().out
-        assert "(metrics)" in out
-        assert "(wall_ms (pre-v3 row))" in out
+        assert "(wall_ms; metrics compute_ms=" in out
+        assert "(wall_ms; pre-v3 (no metrics))" in out
         assert "1 of 2 rows predate the metrics column" in out
 
 

@@ -1,0 +1,181 @@
+"""CLI surface of the sharding layer: ``repro graph partition`` and
+``repro run --shards`` (both the --graph path and the --workload
+metrics disclosure)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csrg(tmp_path, capsys):
+    path = tmp_path / "g.csrg"
+    assert (
+        main(
+            [
+                "graph",
+                "build",
+                "--workload",
+                "xl-grid",
+                "--workload-param",
+                "rows=30",
+                "--workload-param",
+                "cols=21",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    return path
+
+
+class TestGraphPartition:
+    def test_writes_bundle_and_prints_breakdown(self, csrg, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        assert (
+            main(
+                [
+                    "graph",
+                    "partition",
+                    "--graph",
+                    str(csrg),
+                    "--out",
+                    str(out),
+                    "--shards",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "4 shards of n=630" in stdout
+        assert "cut surface" in stdout
+        assert stdout.count("halo") >= 4  # one line per shard
+        assert (out / "manifest.json").exists()
+        assert sorted(p.name for p in out.glob("*.csrs")) == [
+            f"shard-{s:04d}.csrs" for s in range(4)
+        ]
+
+    @pytest.mark.parametrize(
+        "argv,needle",
+        [
+            (["graph", "partition", "--out", "x", "--shards", "2"], "--graph"),
+            (["graph", "partition", "--graph", "g.csrg", "--shards", "2"], "--out"),
+            (["graph", "partition", "--graph", "g.csrg", "--out", "x"], "--shards"),
+        ],
+    )
+    def test_missing_arguments_are_actionable(self, argv, needle):
+        with pytest.raises(SystemExit, match=needle):
+            main(argv)
+
+
+class TestRunSharded:
+    def _run(self, csrg, out_path, extra):
+        return main(
+            [
+                "run",
+                "--graph",
+                str(csrg),
+                "--algorithm",
+                "linial",
+                "--engine",
+                "vector",
+                "--out",
+                str(out_path),
+                *extra,
+            ]
+        )
+
+    def test_sharded_rows_match_unsharded(self, csrg, tmp_path, capsys):
+        plain_out = tmp_path / "plain.json"
+        shard_out = tmp_path / "shard.json"
+        assert self._run(csrg, plain_out, []) == 0
+        capsys.readouterr()
+        assert self._run(csrg, shard_out, ["--shards", "4"]) == 0
+        stdout = capsys.readouterr().out
+        assert "sharded: 4 shards (process pool)" in stdout
+        plain = json.loads(plain_out.read_text())[0]
+        sharded = json.loads(shard_out.read_text())[0]
+        # the sharded row discloses itself, and agrees on everything else
+        assert sharded.pop("shard_stats")["shards"] == 4
+        assert sharded.pop("shards") == 4
+        assert "shards" not in plain
+        assert sharded == plain
+
+    def test_shard_dir_reused_on_second_run(self, csrg, tmp_path, capsys):
+        shard_dir = tmp_path / "bundle"
+        out = tmp_path / "r.json"
+        args = ["--shards", "3", "--shard-dir", str(shard_dir)]
+        assert self._run(csrg, out, args) == 0
+        capsys.readouterr()
+        manifest_mtime = (shard_dir / "manifest.json").stat().st_mtime_ns
+        assert self._run(csrg, out, args) == 0
+        stdout = capsys.readouterr().out
+        assert "repartitioning" not in stdout
+        assert (shard_dir / "manifest.json").stat().st_mtime_ns == manifest_mtime
+
+    def test_stale_shard_dir_repartitioned(self, csrg, tmp_path, capsys):
+        shard_dir = tmp_path / "bundle"
+        out = tmp_path / "r.json"
+        assert self._run(csrg, out, ["--shards", "2", "--shard-dir", str(shard_dir)]) == 0
+        capsys.readouterr()
+        # same dir, different shard count: disclosed repartition, still ok
+        assert self._run(csrg, out, ["--shards", "5", "--shard-dir", str(shard_dir)]) == 0
+        stdout = capsys.readouterr().out
+        assert "repartitioning" in stdout
+        assert "sharded: 5 shards" in stdout
+
+    def test_unprogrammed_algorithm_discloses_fallback(self, csrg, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--graph",
+                    str(csrg),
+                    "--algorithm",
+                    "greedy-vertex",
+                    "--engine",
+                    "vector",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "fell back to the engine path" in stdout
+
+    def test_workload_cells_record_shards_in_metrics(self, tmp_path, capsys):
+        out = tmp_path / "cells.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "xl-grid",
+                    "--workload-param",
+                    "rows=12",
+                    "--workload-param",
+                    "cols=11",
+                    "--algorithm",
+                    "linial",
+                    "--engine",
+                    "vector",
+                    "--shards",
+                    "3",
+                    "--jobs",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rows = json.loads(out.read_text())
+        assert rows and rows[0]["error"] is None
+        assert rows[0]["metrics"]["shards"] == 3

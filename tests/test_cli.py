@@ -105,7 +105,8 @@ class TestKernelsCommand:
         out = capsys.readouterr().out
         assert "linial" in out and "cole-vishkin" in out
         assert "compact-capable algorithms" in out
-        assert "split" in out  # the one conversion-fallback algorithm
+        assert "split" in out  # compact-capable since PR 9
+        assert "conversion fallback" not in out  # no holdouts remain
 
     def test_json_output(self, capsys):
         import json
@@ -113,8 +114,8 @@ class TestKernelsCommand:
         assert main(["kernels", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "linial" in payload["kernels"]
-        assert len(payload["compact_ok"]) >= 12
-        assert payload["compact_fallback"] == ["split"]
+        assert len(payload["compact_ok"]) == 21
+        assert payload["compact_fallback"] == []
         assert isinstance(payload["numba_enabled"], bool)
 
     def test_algorithms_shows_compact_marker(self, capsys):

@@ -254,6 +254,31 @@ python -m repro query --store "$SMOKE_DIR/obs_plain.db" --format json --out "$SM
 cmp "$SMOKE_DIR/obs_traced.json" "$SMOKE_DIR/obs_plain.json"
 echo "obs smoke: trace validates, stats reports, traced store byte-identical to untraced"
 
+echo "== shard smoke: partition -> sharded run == unsharded run =="
+# Partition the graph smoke's .csrg, run the same cell sharded (process
+# workers, checkpointed), and require the result columns to be
+# byte-identical to the unsharded file-backed run above — sharding is an
+# execution strategy, never an answer change. The row must disclose its
+# shard count.
+python -m repro graph partition --graph "$SMOKE_DIR/g.csrg" \
+  --out "$SMOKE_DIR/g_shards" --shards 4 > "$SMOKE_DIR/partition.out"
+grep -q "4 shards of n=144" "$SMOKE_DIR/partition.out"
+python -m repro run --graph "$SMOKE_DIR/g.csrg" --algorithm linial \
+  --engine vector --shards 4 --shard-dir "$SMOKE_DIR/g_shards" \
+  --checkpoint "$SMOKE_DIR/g_ckpt" \
+  --out "$SMOKE_DIR/run_sharded.json" > "$SMOKE_DIR/sharded.out"
+grep -q "sharded: 4 shards (process pool)" "$SMOKE_DIR/sharded.out"
+python - "$SMOKE_DIR/run_sharded.json" "$SMOKE_DIR/run_file.json" <<'EOF'
+import json, sys
+sharded, plain = (json.load(open(p))[0] for p in sys.argv[1:3])
+assert sharded.pop("shards") == 4, "sharded row must disclose its shard count"
+assert sharded.pop("shard_stats")["rounds_executed"] > 0
+assert json.dumps(sharded, sort_keys=True) == json.dumps(plain, sort_keys=True), \
+    f"sharded run diverged from unsharded:\n{sharded}\n{plain}"
+print("sharded run byte-identical to unsharded; shard count disclosed")
+EOF
+echo "shard smoke: partition/run/compare agree"
+
 # Bench list (opt-in: RUN_BENCH=1 tools/ci.sh). bench_stream gates the
 # streaming executor's kill-loss and overhead (BENCH_stream.json);
 # bench_verify gates invariant-verification overhead (BENCH_verify.json);
@@ -265,7 +290,9 @@ echo "obs smoke: trace validates, stats reports, traced store byte-identical to 
 # (BENCH_obs.json: disabled accessors <= 500ns/call, campaign overhead
 # <= 5%, traced campaign emits a schema-valid JSONL file); bench_checks
 # gates the static-analysis pass (BENCH_checks.json: full-repo repro
-# check <= 10s and clean).
+# check <= 10s and clean); bench_shard gates the out-of-core layer
+# (BENCH_shard.json: on a ~1M-node grid, peak worker RSS <= 1/2 of the
+# unsharded process, wall overhead <= 4x, outputs bit-identical).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
@@ -276,4 +303,5 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
   python benchmarks/bench_kernels.py
   python benchmarks/bench_obs.py
   python benchmarks/bench_checks.py
+  python benchmarks/bench_shard.py
 fi
