@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Benchmark: the report layer over the default campaign grid.
+
+Three gates, written to ``BENCH_report.json`` (nonzero exit if any
+fails):
+
+* **report_wall_s** — ``build_report`` plus all three renderings (HTML,
+  markdown, CSVs) over the default grid's rows, including the
+  ``BENCH_*.json`` history and an embedded trace timeline. Gate:
+  <= ``--max-report-s`` (default 5) — the report is a read-side artifact
+  and must stay interactive-cheap next to the campaign that feeds it.
+  The campaign itself runs outside the timed window.
+* **byte_deterministic** — rendering the same store twice with the same
+  injected timestamp must produce byte-identical files (the property
+  the CI report smoke byte-compares).
+* **legacy_benches_normalized** — every pre-gate bench file present in
+  the repo (``BENCH_engines/store/stream/verify.json``) must come out of
+  the tolerant loader with a synthesized non-empty ``gates`` envelope
+  and a boolean ``passed`` — the normalization contract.
+
+Run:  PYTHONPATH=src python benchmarks/bench_report.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.analysis.campaign import CampaignRunner, default_cells
+from repro.analysis.report import build_report, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The pre-gate bench files the loader must normalize (when present).
+LEGACY_BENCHES = ("engines", "store", "stream", "verify")
+
+#: Injected so both renders are comparable; the report never reads a
+#: clock itself.
+TIMESTAMP = "1970-01-01T00:00:00+00:00"
+
+
+def _campaign_rows(trace_path: str):
+    """The default grid, computed in-process with a trace attached so
+    the report's timeline section renders real spans."""
+    with obs.collect(trace_path=trace_path):
+        runner = CampaignRunner(default_cells(), jobs=1)
+        rows = runner.run()
+    return rows, runner.last_summary
+
+
+def _render(rows, summary, events, out_dir: Path) -> float:
+    started = time.perf_counter()
+    report = build_report(
+        rows,
+        summary=summary,
+        bench_dir=REPO_ROOT,
+        events=events,
+        timestamp=TIMESTAMP,
+        store_label="bench-grid",
+    )
+    write_report(report, out_dir, fmt="all")
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-report-s", type=float, default=5.0)
+    parser.add_argument("--out", default="BENCH_report.json")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="bench-report-") as tmp:
+        tmp_dir = Path(tmp)
+        trace_path = str(tmp_dir / "trace.jsonl")
+        rows, summary = _campaign_rows(trace_path)
+        from repro.obs import load_events
+
+        events = load_events(trace_path)
+
+        first = _render(rows, summary, events, tmp_dir / "a")
+        second = _render(rows, summary, events, tmp_dir / "b")
+        files_a = sorted(p.name for p in (tmp_dir / "a").iterdir())
+        files_b = sorted(p.name for p in (tmp_dir / "b").iterdir())
+        identical = files_a == files_b and all(
+            (tmp_dir / "a" / name).read_bytes() == (tmp_dir / "b" / name).read_bytes()
+            for name in files_a
+        )
+        html_bytes = (tmp_dir / "a" / "report.html").stat().st_size
+
+    from repro.analysis.report import load_bench
+
+    normalized = {}
+    for name in LEGACY_BENCHES:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        if not path.exists():
+            continue
+        bench = load_bench(path)
+        normalized[name] = (
+            bench["legacy"]
+            and bool(bench["gates"])
+            and isinstance(bench["passed"], bool)
+        )
+    wall_s = max(first, second)
+
+    gates = {
+        "report_wall_s": {
+            "required_max": args.max_report_s,
+            "measured": wall_s,
+            "passed": wall_s <= args.max_report_s,
+        },
+        "byte_deterministic": {
+            "required": True,
+            "measured": identical,
+            "passed": identical,
+        },
+        "legacy_benches_normalized": {
+            "required": f"all present legacy benches gain gates/passed ({len(normalized)} found)",
+            "measured": ", ".join(
+                f"{name}={'ok' if ok else 'BAD'}" for name, ok in sorted(normalized.items())
+            ) or "(none present)",
+            "passed": all(normalized.values()),
+        },
+    }
+    payload = {
+        "benchmark": "report",
+        "grid_cells": len(rows),
+        "render_s": {"first": first, "second": second},
+        "html_bytes": html_bytes,
+        "trace_events": len(events),
+        "gates": gates,
+        "passed": all(g["passed"] for g in gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    print(
+        f"report over {len(rows)} cells: {first:.3f}s first render, "
+        f"{second:.3f}s second (gate <= {args.max_report_s:.0f}s), "
+        f"html {html_bytes} bytes"
+    )
+    print(f"byte-deterministic: {identical}")
+    print(f"legacy benches normalized: {gates['legacy_benches_normalized']['measured']}")
+    print(f"wrote {args.out}")
+    if not payload["passed"]:
+        failing = [k for k, g in gates.items() if not g["passed"]]
+        print(f"FAILED gates: {', '.join(failing)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -227,6 +227,10 @@ def _print_records(title: str, records: List[ExperimentRecord]) -> None:
 
 
 #: Default column order for rendering experiment-store query rows.
+#: ``compute_ms`` comes from the schema-v3 metrics blob (hoisted by the
+#: dataframes join; "—" on pre-v3 rows) and ``verdict`` from the store's
+#: verification column — the table discloses kernel time and
+#: verification state, not just the run's shape.
 CELL_ROW_COLUMNS = (
     "algorithm",
     "workload",
@@ -237,6 +241,7 @@ CELL_ROW_COLUMNS = (
     "colors_used",
     "rounds_actual",
     "rounds_modeled",
+    "compute_ms",
     "verdict",
     "error",
 )
@@ -248,14 +253,18 @@ def cell_rows_markdown(
 ) -> str:
     """Render experiment-store query rows (plain dicts — the output of
     :meth:`repro.store.ExperimentStore.query`) as a GitHub-flavoured
-    markdown table, the same surface the ExperimentRecord tables use."""
+    markdown table, the same surface the ExperimentRecord tables use.
+    Rows go through :func:`repro.analysis.dataframes.cell_frame`, so
+    metrics-blob columns (``compute_ms``, …) are addressable like any
+    store column."""
+    from repro.analysis.dataframes import cell_frame
     from repro.analysis.metrics import _fmt
 
     header = "| " + " | ".join(columns) + " |"
     rule = "|" + "|".join("---" for _ in columns) + "|"
     body = [
         "| " + " | ".join(_fmt(row.get(column)) for column in columns) + " |"
-        for row in rows
+        for row in cell_frame(rows)
     ]
     return "\n".join([header, rule, *body])
 

@@ -797,12 +797,13 @@ def cmd_query(args: argparse.Namespace) -> int:
 
         text = cell_rows_markdown(rows)
     else:
+        from repro.analysis.dataframes import cell_frame
         from repro.analysis.tables import CELL_ROW_COLUMNS
 
         header = " ".join(f"{c:>14}" for c in CELL_ROW_COLUMNS)
         body = [
             " ".join(f"{str(r.get(c, '')):>14}" for c in CELL_ROW_COLUMNS)
-            for r in rows
+            for r in cell_frame(rows)
         ]
         text = "\n".join([header, *body, f"({len(rows)} rows)"])
     if args.out:
@@ -861,6 +862,44 @@ def cmd_stats(args: argparse.Namespace) -> int:
         summary = store.get_meta("last_campaign")
     stats = campaign_stats(rows, top=args.top)
     print(render_stats(stats, summary=summary if isinstance(summary, dict) else None))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the campaign report (frontier tables, verdict ledger,
+    bench history, campaign breakdown, optional span timeline) from a
+    store into a self-contained HTML/markdown/CSV bundle."""
+    from repro.analysis.report import build_report, write_report
+
+    with _open_store(args.store) as store:
+        rows = store.query()
+        summary = store.get_meta("last_campaign")
+    events = None
+    if args.trace:
+        from repro.obs import load_events
+
+        if not Path(args.trace).exists():
+            raise SystemExit(f"no trace file at {args.trace}")
+        events = load_events(args.trace)
+    if args.timestamp is not None:
+        timestamp = args.timestamp
+    else:
+        import datetime as _dt
+
+        timestamp = _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+    report = build_report(
+        rows,
+        summary=summary if isinstance(summary, dict) else None,
+        bench_dir=args.bench_dir,
+        events=events,
+        timestamp=timestamp,
+        store_label=Path(args.store).name,
+    )
+    written = write_report(report, args.out, fmt=args.format)
+    for path in written:
+        print(f"wrote {path}")
+    for bench in report["flagged_benches"]:
+        print(f"FLAGGED: BENCH_{bench}.json has passed=false")
     return 0
 
 
@@ -1460,6 +1499,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest cells to list (default 5)",
     )
     stats.set_defaults(func=cmd_stats)
+
+    report = sub.add_parser(
+        "report",
+        help="render the campaign report (frontier vs palette bounds, "
+        "verdict ledger, bench history, breakdowns) as self-contained "
+        "HTML / markdown / CSV",
+    )
+    report.add_argument("--store", required=True, help="experiment store path")
+    report.add_argument(
+        "--out", default="report", help="output directory (default: report/)"
+    )
+    report.add_argument(
+        "--format",
+        choices=("html", "md", "csv", "all"),
+        default="all",
+        help="which rendering(s) to write (default: all)",
+    )
+    report.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory holding the BENCH_*.json history (default: .)",
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        help="JSONL trace file to embed as the span-timeline figure",
+    )
+    report.add_argument(
+        "--timestamp",
+        default=None,
+        help="inject the generation timestamp — same store + same "
+        "timestamp renders byte-identically (CI byte-compares this)",
+    )
+    report.set_defaults(func=cmd_report)
 
     trace = sub.add_parser(
         "trace",

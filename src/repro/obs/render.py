@@ -14,9 +14,9 @@ two altitudes:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
-__all__ = ["render_events", "render_rounds"]
+__all__ = ["render_events", "render_rounds", "timeline_lanes"]
 
 
 def _fields_text(fields: Mapping[str, Any]) -> str:
@@ -39,36 +39,71 @@ def _event_line(event: Mapping[str, Any]) -> str:
     return text
 
 
-def render_events(
-    events: Sequence[Mapping[str, Any]],
-    max_events: int = 200,
-    name_prefix: str = "",
-) -> str:
-    """A per-process timeline of decoded trace events.
+def _lane_of(event: Mapping[str, Any]) -> Tuple[str, Any]:
+    """The display lane an event belongs to.
 
-    Events are grouped by ``pid`` (a multi-worker campaign trace carries
-    several interleaved writers) and listed in ``seq`` order within each.
-    ``name_prefix`` filters to one event family (``engine.``, ``cell.``);
-    ``max_events`` truncates each process section with an overflow line,
-    so a million-round trace still renders instantly.
+    Shard workers execute inside pool processes that never write the
+    trace themselves — the coordinator emits ``shard.worker.*`` spans on
+    their behalf, carrying the worker's pid in ``fields["worker_pid"]``.
+    Those events get a synthetic per-worker lane, so a ``--shards N``
+    trace renders one lane per shard worker instead of interleaving all
+    worker activity into the coordinator's lane. Everything else lanes
+    by its writing ``pid`` as before.
     """
+    fields = event.get("fields") or {}
+    worker_pid = fields.get("worker_pid")
+    if worker_pid is not None and str(event.get("name", "")).startswith("shard."):
+        return ("shard worker", worker_pid)
+    return ("process", event.get("pid"))
+
+
+def timeline_lanes(
+    events: Sequence[Mapping[str, Any]],
+    name_prefix: str = "",
+) -> List[Tuple[str, List[Mapping[str, Any]]]]:
+    """Events grouped into labeled display lanes in ``seq`` order: one
+    ``process <pid>`` lane per writing pid, plus one ``shard worker
+    <pid>`` lane per shard worker (see :func:`_lane_of`). Shared by the
+    ``repro trace show`` text timeline and the HTML report's SVG
+    timeline; ``meta`` events are dropped here so every renderer shows
+    the same population."""
     if name_prefix:
         events = [
             e for e in events
             if str(e.get("name", "")).startswith(name_prefix)
             or e.get("kind") == "meta"
         ]
-    by_pid: Dict[Any, List[Mapping[str, Any]]] = {}
+    by_lane: Dict[Tuple[str, Any], List[Mapping[str, Any]]] = {}
     for event in events:
-        by_pid.setdefault(event.get("pid"), []).append(event)
+        if event.get("kind") == "meta":
+            continue
+        by_lane.setdefault(_lane_of(event), []).append(event)
+    lanes: List[Tuple[str, List[Mapping[str, Any]]]] = []
+    for kind, key in sorted(by_lane, key=lambda lane: (lane[0], repr(lane[1]))):
+        group = sorted(by_lane[(kind, key)], key=lambda e: (e.get("seq", 0),))
+        lanes.append((f"{kind} {key}", group))
+    return lanes
+
+
+def render_events(
+    events: Sequence[Mapping[str, Any]],
+    max_events: int = 200,
+    name_prefix: str = "",
+) -> str:
+    """A per-lane timeline of decoded trace events.
+
+    Events are grouped by ``pid`` (a multi-worker campaign trace carries
+    several interleaved writers) — with coordinator-emitted
+    ``shard.worker.*`` spans split out into one lane per shard worker —
+    and listed in ``seq`` order within each lane. ``name_prefix``
+    filters to one event family (``engine.``, ``cell.``);
+    ``max_events`` truncates each lane section with an overflow line,
+    so a million-round trace still renders instantly.
+    """
     lines: List[str] = []
-    for pid in sorted(by_pid, key=repr):
-        group = sorted(by_pid[pid], key=lambda e: (e.get("seq", 0),))
-        shown = [e for e in group if e.get("kind") != "meta"]
+    for label, shown in timeline_lanes(events, name_prefix=name_prefix):
         spans = sum(1 for e in shown if e.get("kind") == "span")
-        lines.append(
-            f"process {pid}: {len(shown)} events ({spans} spans)"
-        )
+        lines.append(f"{label}: {len(shown)} events ({spans} spans)")
         for event in shown[:max_events]:
             lines.append("  " + _event_line(event))
         overflow = len(shown) - max_events

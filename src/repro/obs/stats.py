@@ -54,16 +54,6 @@ def _cell_time_ms(row: Mapping[str, Any]) -> Optional[float]:
     return float(value) if isinstance(value, (int, float)) else None
 
 
-def _cell_compute_ms(row: Mapping[str, Any]) -> Optional[float]:
-    """The metrics blob's compute-phase timing, when the row has one."""
-    metrics = row.get("metrics")
-    if isinstance(metrics, Mapping):
-        value = metrics.get("compute_ms")
-        if isinstance(value, (int, float)):
-            return float(value)
-    return None
-
-
 def _distribution(values: Sequence[float]) -> Dict[str, float]:
     return {
         "count": len(values),
@@ -75,33 +65,31 @@ def _distribution(values: Sequence[float]) -> Dict[str, float]:
 
 
 def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str, Any]:
-    """Aggregate a set of store rows into the ``repro stats`` payload."""
+    """Aggregate a set of store rows into the ``repro stats`` payload.
+
+    Delegates the store-row/metrics-blob join to
+    :func:`repro.analysis.dataframes.cell_frame` (imported lazily —
+    ``repro.obs`` loads on every run path, the analysis package only
+    here), so this module aggregates hoisted columns instead of
+    re-walking blobs."""
+    from repro.analysis.dataframes import cell_frame
+
+    frame = cell_frame(rows)
     counters: Dict[str, float] = {}
-    pre_v3 = 0
     untimed = 0
     timed: List[Any] = []
-    queue_ms: List[float] = []
     per_algorithm: Dict[str, Dict[str, List[float]]] = {}
-    errors = 0
+    errors = len(frame.where(lambda r: bool(r.get("error"))))
+    pre_v3 = len(frame.where(has_metrics=False))
     verdicts: Dict[str, int] = {}
-    for row in rows:
-        if row.get("error"):
-            errors += 1
-        verdict = row.get("verdict")
-        verdicts[str(verdict)] = verdicts.get(str(verdict), 0) + 1
-        metrics = row.get("metrics")
-        if not isinstance(metrics, Mapping):
-            pre_v3 += 1
-            metrics = None
-        if metrics:
-            for key, value in (metrics.get("counters") or {}).items():
-                counters[key] = counters.get(key, 0) + value
-            q = metrics.get("queue_ms")
-            if isinstance(q, (int, float)):
-                queue_ms.append(float(q))
+    for row in frame:
+        verdict = str(row.get("verdict"))
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        for key, value in row["counters"].items():
+            counters[key] = counters.get(key, 0) + value
         ms = _cell_time_ms(row)
         if ms is not None:
-            timed.append((ms, _cell_compute_ms(row), row))
+            timed.append((ms, row["compute_ms"], row))
             algo = str(row.get("algorithm"))
             dist = per_algorithm.setdefault(algo, {"wall_ms": [], "rounds": []})
             dist["wall_ms"].append(ms)
@@ -112,6 +100,7 @@ def campaign_stats(rows: Sequence[Mapping[str, Any]], top: int = 5) -> Dict[str,
             per_algorithm.setdefault(
                 str(row.get("algorithm")), {"wall_ms": [], "rounds": []}
             )["rounds"].append(float(rounds))
+    queue_ms = frame.column("queue_ms", drop_none=True)
     timed.sort(key=lambda item: -item[0])
     slowest = [
         {

@@ -37,6 +37,7 @@ import contextlib
 import json
 import os
 import signal
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -74,14 +75,15 @@ class _ShardSlot:
 
     def handle(self, msg: Tuple[Any, ...]) -> Tuple[Any, Dict[str, Any]]:
         op = msg[0]
+        started = time.perf_counter()
         if op == "init":
             self.program = get_program(msg[1])
             self.state, stats = self.program.init_state(self.shard, msg[2])
-            stats["maxrss_kb"] = _maxrss_kb()
+            self._disclose(stats, started)
             return self.program.boundary(self.shard, self.state), stats
         if op == "step":
             stats = self.program.step(self.shard, self.state, msg[1], msg[2])
-            stats["maxrss_kb"] = _maxrss_kb()
+            self._disclose(stats, started)
             return self.program.boundary(self.shard, self.state), stats
         if op == "finalize":
             return self.program.finalize(self.shard, self.state), {}
@@ -96,9 +98,52 @@ class _ShardSlot:
             self.program = get_program(msg[1])
             with np.load(Path(msg[2])) as payload:
                 self.state = {key: payload[key] for key in payload.files}
-            stats = {"maxrss_kb": _maxrss_kb()}
+            stats: Dict[str, Any] = {}
+            self._disclose(stats, started)
             return self.program.boundary(self.shard, self.state), stats
         raise ShardWorkerError(f"unknown worker op {op!r}")
+
+    @staticmethod
+    def _disclose(stats: Dict[str, Any], started: float) -> None:
+        """Worker-side observability disclosures on every stats-bearing
+        reply: peak RSS, the worker's pid (process pool — the shard's
+        own process; inline pool — the coordinator), and the op's
+        in-worker duration. The coordinator turns these into per-worker
+        ``shard.worker.*`` trace spans; stats keys are additive, so
+        programs reading their own keys never notice."""
+        stats["maxrss_kb"] = _maxrss_kb()
+        stats["pid"] = os.getpid()
+        stats["op_ms"] = (time.perf_counter() - started) * 1000.0
+
+
+def _emit_worker_spans(
+    op: str, stats: List[Dict[str, Any]], round_no: Optional[int] = None
+) -> None:
+    """Turn one round of worker stats replies into per-worker trace
+    spans. Shard workers never hold the trace sink (process-pool workers
+    are plain pipe servers), so the coordinator emits
+    ``shard.worker.<op>`` on their behalf, stamped with the worker's pid
+    in ``fields`` — which is what lets the timeline renderers lane a
+    sharded run per worker. No sink, no work."""
+    from repro import obs
+
+    rt = obs.active()
+    if rt is None or rt.trace is None:
+        return
+    for shard_id, stat in enumerate(stats):
+        pid = stat.get("pid")
+        if pid is None:
+            continue
+        fields: Dict[str, Any] = {"shard": shard_id, "worker_pid": int(pid)}
+        if round_no is not None:
+            fields["round"] = round_no
+        dur = stat.get("op_ms")
+        rt.emit(
+            "span",
+            f"shard.worker.{op}",
+            dur_ms=float(dur) if isinstance(dur, (int, float)) else None,
+            **fields,
+        )
 
 
 def _bind_to_parent_lifetime() -> None:
@@ -404,6 +449,7 @@ class ShardingScope:
             peak_rss = max(
                 [peak_rss] + [int(s.get("maxrss_kb", 0)) for s in stats]
             )
+            _emit_worker_spans("init", stats)
             completed = 0
             arg = program.next_action(plan, completed, stats)
 
@@ -430,6 +476,7 @@ class ShardingScope:
             peak_rss = max(
                 [peak_rss] + [int(s.get("maxrss_kb", 0)) for s in stats]
             )
+            _emit_worker_spans("step", stats, round_no=completed)
             arg = program.next_action(plan, completed, stats)
             if self.checkpoint is not None and completed % self.checkpoint_every == 0:
                 self.checkpoint.mkdir(parents=True, exist_ok=True)

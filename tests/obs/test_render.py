@@ -6,6 +6,7 @@ from repro.engine import get_engine
 from repro.local import NodeAlgorithm
 from repro.local.trace import Tracer
 from repro.obs import render_events, render_rounds, summarize_events
+from repro.obs.render import timeline_lanes
 
 
 def _events():
@@ -43,6 +44,58 @@ class TestRenderEvents:
 
     def test_empty(self):
         assert render_events([]) == "(no events)"
+
+
+def _shard_events():
+    """A coordinator span plus shard.worker.* spans from two worker
+    pids — all emitted from the coordinator pid, but carrying the
+    worker's pid in fields."""
+    return [
+        {"v": 1, "kind": "span", "name": "registry.run", "ts_ms": 20.0,
+         "dur_ms": 18.0, "pid": 10, "seq": 0},
+        {"v": 1, "kind": "span", "name": "shard.worker.init", "ts_ms": 4.0,
+         "dur_ms": 2.0, "pid": 10, "seq": 1,
+         "fields": {"shard": 0, "worker_pid": 101}},
+        {"v": 1, "kind": "span", "name": "shard.worker.init", "ts_ms": 5.0,
+         "dur_ms": 2.5, "pid": 10, "seq": 2,
+         "fields": {"shard": 1, "worker_pid": 102}},
+        {"v": 1, "kind": "span", "name": "shard.worker.step", "ts_ms": 9.0,
+         "dur_ms": 1.0, "pid": 10, "seq": 3,
+         "fields": {"shard": 0, "worker_pid": 101, "round": 1}},
+    ]
+
+
+class TestWorkerLanes:
+    def test_shard_spans_get_one_lane_per_worker_pid(self):
+        lanes = timeline_lanes(_shard_events())
+        labels = [label for label, _ in lanes]
+        assert labels == ["process 10", "shard worker 101", "shard worker 102"]
+        by_label = dict(lanes)
+        assert [e["name"] for e in by_label["shard worker 101"]] == [
+            "shard.worker.init",
+            "shard.worker.step",
+        ]
+        assert len(by_label["process 10"]) == 1
+
+    def test_render_events_shows_worker_lanes(self):
+        text = render_events(_shard_events())
+        assert "shard worker 101: 2 events (2 spans)" in text
+        assert "shard worker 102: 1 events (1 spans)" in text
+        assert "process 10: 1 events (1 spans)" in text
+
+    def test_shard_span_without_worker_pid_stays_in_process_lane(self):
+        events = [
+            {"v": 1, "kind": "span", "name": "shard.plan", "ts_ms": 1.0,
+             "dur_ms": 0.5, "pid": 10, "seq": 0, "fields": {"shards": 2}},
+        ]
+        assert [label for label, _ in timeline_lanes(events)] == ["process 10"]
+
+    def test_meta_events_dropped_from_lanes(self):
+        events = [
+            {"v": 1, "kind": "meta", "name": "trace.open", "ts_ms": 0.0,
+             "pid": 10, "seq": 0},
+        ]
+        assert timeline_lanes(events) == []
 
 
 class TestSummarizeEvents:

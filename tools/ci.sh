@@ -254,6 +254,26 @@ python -m repro query --store "$SMOKE_DIR/obs_plain.db" --format json --out "$SM
 cmp "$SMOKE_DIR/obs_traced.json" "$SMOKE_DIR/obs_plain.json"
 echo "obs smoke: trace validates, stats reports, traced store byte-identical to untraced"
 
+echo "== report smoke: campaign store -> self-contained HTML, byte-deterministic =="
+# Render the full report (HTML + markdown + CSVs) over the obs smoke's
+# traced store, with the trace timeline embedded and a pinned timestamp.
+# The HTML must be non-empty, self-contained (inline SVG, closing tag),
+# and a second render of the same store must be byte-identical on every
+# artifact — the report is a pure function of (store, benches, trace,
+# timestamp).
+REPORT_ARGS=(--store "$SMOKE_DIR/obs_traced.db" --trace "$SMOKE_DIR/obs_trace.jsonl"
+             --bench-dir . --timestamp 1970-01-01T00:00:00+00:00)
+python -m repro report "${REPORT_ARGS[@]}" --out "$SMOKE_DIR/report_a" > "$SMOKE_DIR/report.out"
+grep -q "report.html" "$SMOKE_DIR/report.out"
+test -s "$SMOKE_DIR/report_a/report.html"
+grep -q "<svg" "$SMOKE_DIR/report_a/report.html"
+grep -q "</html>" "$SMOKE_DIR/report_a/report.html"
+python -m repro report "${REPORT_ARGS[@]}" --out "$SMOKE_DIR/report_b" >/dev/null
+for artifact in report.html report.md frontier.csv verdicts.csv benches.csv campaign.csv; do
+  cmp "$SMOKE_DIR/report_a/$artifact" "$SMOKE_DIR/report_b/$artifact"
+done
+echo "report smoke: HTML self-contained, all six artifacts byte-deterministic"
+
 echo "== shard smoke: partition -> sharded run == unsharded run =="
 # Partition the graph smoke's .csrg, run the same cell sharded (process
 # workers, checkpointed), and require the result columns to be
@@ -292,7 +312,10 @@ echo "shard smoke: partition/run/compare agree"
 # gates the static-analysis pass (BENCH_checks.json: full-repo repro
 # check <= 10s and clean); bench_shard gates the out-of-core layer
 # (BENCH_shard.json: on a ~1M-node grid, peak worker RSS <= 1/2 of the
-# unsharded process, wall overhead <= 4x, outputs bit-identical).
+# unsharded process, wall overhead <= 4x, outputs bit-identical);
+# bench_report gates the campaign report layer (BENCH_report.json: full
+# report over the default grid renders in <= 5s, twice byte-identically,
+# and the tolerant loader normalizes every legacy bench envelope).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
   echo "== benches =="
   python benchmarks/bench_verify.py
@@ -304,4 +327,5 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
   python benchmarks/bench_obs.py
   python benchmarks/bench_checks.py
   python benchmarks/bench_shard.py
+  python benchmarks/bench_report.py
 fi
